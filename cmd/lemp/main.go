@@ -1,0 +1,125 @@
+// Command lemp runs large-entry retrieval on factor-matrix files: the
+// Above-θ problem (all entries of QᵀP at or above a threshold) or the
+// Row-Top-k problem (the k largest entries per row).
+//
+// Matrices are read with format auto-detection (the library's LEMPMAT1
+// binary format or CSV, one vector per line); generate inputs with
+// lemp-datagen or bring your own factors.
+//
+// Usage:
+//
+//	lemp -q users.q -p items.p -topk 10                 # top-10 per user
+//	lemp -q q.csv -p p.csv -theta 0.9 -out result.csv   # Above-θ
+//	lemp -q q.csv -p p.csv -theta 0.9 -alg L2AP -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"lemp"
+)
+
+func main() {
+	qPath := flag.String("q", "", "query matrix file (columns of Q as vectors)")
+	pPath := flag.String("p", "", "probe matrix file (columns of P as vectors)")
+	theta := flag.Float64("theta", 0, "Above-θ threshold (> 0); mutually exclusive with -topk")
+	topk := flag.Int("topk", 0, "Row-Top-k: number of results per query; mutually exclusive with -theta")
+	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
+	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
+	parallel := flag.Int("parallel", 1, "retrieval goroutines")
+	approx := flag.Int("approx", 0, "approximate -topk via this many query clusters (0 = exact)")
+	outPath := flag.String("out", "", "write results as CSV (query,probe,value); default stdout")
+	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	flag.Parse()
+
+	if *qPath == "" || *pPath == "" {
+		fail("both -q and -p are required")
+	}
+	if (*theta > 0) == (*topk > 0) {
+		fail("specify exactly one of -theta or -topk")
+	}
+	alg, err := lemp.ParseAlgorithm(*algName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	q, err := lemp.LoadMatrix(*qPath)
+	if err != nil {
+		fail("loading %s: %v", *qPath, err)
+	}
+	p, err := lemp.LoadMatrix(*pPath)
+	if err != nil {
+		fail("loading %s: %v", *pPath, err)
+	}
+
+	index, err := lemp.New(p, lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel})
+	if err != nil {
+		fail("building index: %v", err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail("creating %s: %v", *outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	writeEntry := func(e lemp.Entry) {
+		w.WriteString(strconv.Itoa(e.Query))
+		w.WriteByte(',')
+		w.WriteString(strconv.Itoa(e.Probe))
+		w.WriteByte(',')
+		w.WriteString(strconv.FormatFloat(e.Value, 'g', -1, 64))
+		w.WriteByte('\n')
+	}
+
+	var st lemp.Stats
+	switch {
+	case *theta > 0:
+		if *approx > 0 {
+			fail("-approx applies only to -topk")
+		}
+		st, err = index.AboveThetaFunc(q, *theta, writeEntry)
+	case *approx > 0:
+		var top lemp.TopK
+		top, st, err = index.RowTopKApprox(q, *topk, lemp.ApproxOptions{Clusters: *approx})
+		for _, row := range top {
+			for _, e := range row {
+				writeEntry(e)
+			}
+		}
+	default:
+		var top lemp.TopK
+		top, st, err = index.RowTopK(q, *topk)
+		for _, row := range top {
+			for _, e := range row {
+				writeEntry(e)
+			}
+		}
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr,
+			"queries=%d probes=%d buckets=%d results=%d candidates/query=%.1f\n"+
+				"prep=%v tune=%v retrieval=%v total=%v\n",
+			st.Queries, index.N(), st.Buckets, st.Results, st.CandidatesPerQuery(),
+			st.PrepTime, st.TuneTime, st.RetrievalTime, st.TotalTime())
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lemp: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

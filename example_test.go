@@ -1,0 +1,104 @@
+package lemp_test
+
+import (
+	"fmt"
+	"log"
+
+	"lemp"
+)
+
+// The package examples run on the paper's Fig. 1 factor model: four users,
+// five movies, two latent factors.
+
+func fig1Matrices() (q, p *lemp.Matrix) {
+	q, err := lemp.MatrixFromVectors([][]float64{
+		{3.2, -0.4}, // Adam
+		{3.1, -0.2}, // Bob
+		{0, 1.8},    // Charlie
+		{-0.4, 1.9}, // Dennis
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err = lemp.MatrixFromVectors([][]float64{
+		{1.6, 0.6}, // Die Hard
+		{1.3, 0.8}, // Taken
+		{0.7, 2.7}, // Twilight
+		{1, 2.8},   // Amelie
+		{0.4, 2.2}, // Titanic
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q, p
+}
+
+func ExampleIndex_AboveTheta() {
+	q, p := fig1Matrices()
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, _, err := index.AboveTheta(q, 4.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d predictions above 4.5\n", len(entries))
+	// Output:
+	// 6 predictions above 4.5
+}
+
+func ExampleIndex_RowTopK() {
+	q, p := fig1Matrices()
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, _, err := index.RowTopK(q, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	movies := []string{"Die Hard", "Taken", "Twilight", "Amelie", "Titanic"}
+	users := []string{"Adam", "Bob", "Charlie", "Dennis"}
+	for u, row := range top {
+		fmt.Printf("%s -> %s (%.2f)\n", users[u], movies[row[0].Probe], row[0].Value)
+	}
+	// Output:
+	// Adam -> Die Hard (4.88)
+	// Bob -> Die Hard (4.84)
+	// Charlie -> Amelie (5.04)
+	// Dennis -> Amelie (4.92)
+}
+
+func ExampleIndex_AboveThetaFunc() {
+	q, p := fig1Matrices()
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stream entries without materializing the result set.
+	var count int
+	var max float64
+	_, err = index.AboveThetaFunc(q, 3.0, func(e lemp.Entry) {
+		count++
+		if e.Value > max {
+			max = e.Value
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d entries, largest %.2f\n", count, max)
+	// Output:
+	// 10 entries, largest 5.04
+}
+
+func ExampleParseAlgorithm() {
+	alg, err := lemp.ParseAlgorithm("l2ap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(alg)
+	// Output:
+	// L2AP
+}

@@ -1,0 +1,66 @@
+// Quickstart: the paper's running example (Fig. 1). A latent-factor model
+// for four users and five movies, with r = 2 factors roughly meaning
+// "action" and "romance". We retrieve (a) all predicted ratings above 3
+// (Above-θ) and (b) each user's two best movies (Row-Top-k) — without
+// computing the full rating matrix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lemp"
+)
+
+func main() {
+	users := []string{"Adam", "Bob", "Charlie", "Dennis"}
+	movies := []string{"Die Hard", "Taken", "Twilight", "Amelie", "Titanic"}
+
+	// Columns of Q (user factors) and P (movie factors) from Fig. 1b.
+	q, err := lemp.MatrixFromVectors([][]float64{
+		{3.2, -0.4}, // Adam
+		{3.1, -0.2}, // Bob
+		{0, 1.8},    // Charlie
+		{-0.4, 1.9}, // Dennis
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := lemp.MatrixFromVectors([][]float64{
+		{1.6, 0.6}, // Die Hard
+		{1.3, 0.8}, // Taken
+		{0.7, 2.7}, // Twilight
+		{1, 2.8},   // Amelie
+		{0.4, 2.2}, // Titanic
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Predicted ratings above 3.0:")
+	entries, _, err := index.AboveTheta(q, 3.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("  %-8s -> %-9s %.1f\n", users[e.Query], movies[e.Probe], e.Value)
+	}
+
+	fmt.Println("\nTop-2 recommendations per user:")
+	top, _, err := index.RowTopK(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for u, row := range top {
+		fmt.Printf("  %-8s", users[u])
+		for _, e := range row {
+			fmt.Printf(" %s (%.1f) ", movies[e.Probe], e.Value)
+		}
+		fmt.Println()
+	}
+}

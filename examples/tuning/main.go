@@ -1,0 +1,98 @@
+// Tuning: a look inside LEMP's algorithm selection (§4.4). The same
+// workload runs under every bucket algorithm, showing the trade-off the
+// paper's Tables 5–6 measure: LENGTH verifies many candidates cheaply,
+// INCR/COORD prune aggressively at some scanning cost, TA/Tree/L2AP/BLSH
+// sit in between — and the mixed LI, which picks per bucket and per query,
+// matches the best of them. The example also demonstrates fixing φ by hand
+// and disabling the cache-size bucket limit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+func main() {
+	profile, err := data.ByName("IE-SVDT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile = profile.Scale(0.35)
+	fmt.Printf("dataset %s: Q %dx%d, P %dx%d\n",
+		profile.Name, profile.R, profile.M, profile.R, profile.N)
+	q, p := profile.Generate()
+	const k = 10
+
+	fmt.Printf("\n%-18s %12s %14s %10s\n", "algorithm", "total", "cands/query", "buckets")
+	for _, name := range []string{"L", "C", "I", "LC", "LI", "TA", "Tree", "L2AP", "BLSH"} {
+		alg, err := lemp.ParseAlgorithm(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		index, err := lemp.New(p, lemp.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st, err := index.RowTopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LEMP-%-13s %12v %14.1f %10d\n",
+			name, st.TotalTime().Round(1000), st.CandidatesPerQuery(), st.Buckets)
+	}
+
+	fmt.Println("\nfixed φ vs tuned φ_b (pure INCR):")
+	for _, phi := range []int{1, 2, 3, 5, 0} {
+		label := fmt.Sprintf("φ=%d", phi)
+		if phi == 0 {
+			label = "tuned"
+		}
+		index, err := lemp.New(p, lemp.Options{Algorithm: lemp.AlgorithmI, Phi: phi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st, err := index.RowTopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s total %12v  cands/query %10.1f\n",
+			label, st.TotalTime().Round(1000), st.CandidatesPerQuery())
+	}
+
+	fmt.Println("\nper-bucket selections of the tuned LI run (first 8 buckets):")
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := index.RowTopK(q, k); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-8s %8s %10s %8s %6s\n", "bucket", "size", "max len", "t_b", "φ_b")
+	for i, b := range index.Buckets() {
+		if i == 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %-8d %8d %10.3f %8.2f %6d\n", i, b.Size, b.MaxLength, b.TB, b.Phi)
+	}
+
+	fmt.Println("\ncache-aware vs cache-oblivious bucketization:")
+	for _, cache := range []int{0, -1} {
+		label := "cache-aware (2MiB budget)"
+		if cache < 0 {
+			label = "cache-oblivious (unbounded)"
+		}
+		index, err := lemp.New(p, lemp.Options{CacheBytes: cache})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st, err := index.RowTopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %4d buckets, total %v\n", label, st.Buckets, st.TotalTime().Round(1000))
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The harness must run every experiment end to end at a tiny scale. This
+// is a smoke test for the experiment wiring, not a performance check.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test skipped in -short mode")
+	}
+	var out bytes.Buffer
+	r := NewRunner(Config{Scale: 0.02, Quick: true, Out: &out})
+	if err := r.Run("all"); err != nil {
+		t.Fatalf("Run(all): %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Figure 5", "Figure 6a", "Figure 6b", "Figure 7a,b", "Figure 7c-f",
+		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"caching effects", "ablation",
+		"LEMP-LI", "Naive",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out bytes.Buffer
+	r := NewRunner(Config{Scale: 0.02, Out: &out})
+	if err := r.Run("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDatasetCachedAcrossExperiments(t *testing.T) {
+	var out bytes.Buffer
+	r := NewRunner(Config{Scale: 0.02, Quick: true, Out: &out})
+	a := r.get("IE-NMF")
+	b := r.get("IE-NMF")
+	if a != b {
+		t.Error("dataset regenerated instead of cached")
+	}
+	if a.q.N() == 0 || a.p.N() == 0 {
+		t.Error("empty dataset")
+	}
+	if len(a.thetas) == 0 {
+		t.Error("no calibrated thresholds")
+	}
+}
+
+func TestSICount(t *testing.T) {
+	cases := map[int]string{100: "100", 1000: "1K", 10000: "10K", 1000000: "1M", 2500: "2500"}
+	for n, want := range cases {
+		if got := siCount(n); got != want {
+			t.Errorf("siCount(%d)=%q want %q", n, got, want)
+		}
+	}
+}

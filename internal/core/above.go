@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/vecmath"
+)
+
+// AboveTheta retrieves every entry of QᵀP with value ≥ theta (Problem 1)
+// and streams it to emit. theta must be positive, as in the paper's problem
+// statement. The entry order is unspecified.
+//
+// The loop structure follows §3.2: probe buckets (small, cache-resident) in
+// the outer loop, queries in decreasing-length order in the inner loop, so
+// a query whose local threshold exceeds 1 ends the inner loop — every later
+// query is shorter — and a bucket whose longest query is pruned ends the
+// whole run — every later bucket is shorter too.
+func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink) (Stats, error) {
+	if q.R() != ix.r {
+		return Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
+	}
+	if !(theta > 0) {
+		return Stats{}, fmt.Errorf("core: theta must be positive, got %v", theta)
+	}
+	st := Stats{Queries: q.N(), Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	qs := prepareQueries(q)
+	if ix.needsTuning() {
+		tuneStart := time.Now()
+		ix.tune(qs, tuneAbove{theta: theta})
+		st.TuneTime = time.Since(tuneStart)
+	}
+	start := time.Now()
+	if ix.opts.Parallelism == 1 || qs.n() < 2*ix.opts.Parallelism {
+		s := newScratch(ix.maxBucket, ix.r)
+		ix.aboveWorker(qs, 0, qs.n(), theta, s, emit, &st)
+	} else {
+		var mu sync.Mutex
+		lockedEmit := func(e retrieval.Entry) {
+			mu.Lock()
+			emit(e)
+			mu.Unlock()
+		}
+		workers := ix.opts.Parallelism
+		stats := make([]Stats, workers)
+		var wg sync.WaitGroup
+		chunk := (qs.n() + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > qs.n() {
+				hi = qs.n()
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				s := newScratch(ix.maxBucket, ix.r)
+				ix.aboveWorker(qs, lo, hi, theta, s, lockedEmit, &stats[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, ws := range stats {
+			st.Candidates += ws.Candidates
+			st.Results += ws.Results
+			st.ProcessedPairs += ws.ProcessedPairs
+			st.PrunedPairs += ws.PrunedPairs
+		}
+	}
+	st.RetrievalTime = time.Since(start)
+	ix.countIndexedBuckets(&st)
+	return st, nil
+}
+
+// aboveWorker processes queries [lo, hi) of the sorted query set against
+// all buckets.
+func (ix *Index) aboveWorker(qs *querySet, lo, hi int, theta float64, s *scratch, emit retrieval.Sink, st *Stats) {
+	nq := int64(hi - lo)
+	for _, b := range ix.buckets {
+		// θ_b(q) = θ/(‖q‖·l_b); for l_b = 0 this is +Inf and the
+		// bucket (zero vectors only) is pruned for every query.
+		var l2T0 float64
+		if ix.opts.Algorithm == AlgL2AP && qs.n() > 0 && b.lb > 0 && qs.lens[0] > 0 {
+			l2T0 = vecmath.Clamp(theta/(qs.lens[0]*b.lb), 0, 1)
+		}
+		processed := int64(0)
+		for qi := lo; qi < hi; qi++ {
+			qlen := qs.lens[qi]
+			if qlen == 0 {
+				break // zero queries produce only zero products < θ
+			}
+			thetaB := theta / (qlen * b.lb)
+			if thetaB > 1 {
+				break // every later query is shorter (line 13)
+			}
+			processed++
+			qdir := qs.dir(qi)
+			alg, phi := ix.resolve(b, thetaB)
+			ix.gather(b, alg, phi, int32(qi), qdir, qlen, theta, thetaB, l2T0, s)
+			verifyAbove(b, qdir, qlen, theta, qs.ids[qi], s, emit, st)
+		}
+		st.ProcessedPairs += processed
+		st.PrunedPairs += nq - processed
+		if processed == 0 {
+			// Even the longest query was pruned; later buckets have
+			// smaller l_b, so nothing else can qualify.
+			st.PrunedPairs += int64(len(ix.buckets)-bucketIndex(ix.buckets, b)-1) * nq
+			break
+		}
+	}
+}
+
+// bucketIndex returns the position of b in buckets (small slice walk; only
+// used once per early exit for the pruning statistic).
+func bucketIndex(buckets []*bucket, b *bucket) int {
+	for i, x := range buckets {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lemp/internal/kmeans"
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// Approximate Row-Top-k via query clustering, the approach the paper cites
+// as directly composable with LEMP (§5, Koenigstein et al. [17]): cluster
+// the query vectors, run exact Row-Top-k' only for the cluster centroids
+// (k' = Expand·k), and answer each query exactly over its centroid's
+// candidate items. Recall is below 1 when a query's true top-k item is
+// absent from its centroid's expanded list; it improves with more clusters
+// and a larger Expand.
+
+// ApproxOptions tune RowTopKApprox.
+type ApproxOptions struct {
+	// Clusters is the number of query clusters (default √m, at least 1).
+	Clusters int
+	// Expand retrieves Expand·k candidates per centroid (default 10).
+	Expand int
+	// MaxIter bounds the k-means iterations (default 10).
+	MaxIter int
+	// Seed drives the clustering initialization (default 1).
+	Seed int64
+}
+
+func (o ApproxOptions) withDefaults(m int) ApproxOptions {
+	if o.Clusters <= 0 {
+		o.Clusters = int(math.Sqrt(float64(m)))
+		if o.Clusters < 1 {
+			o.Clusters = 1
+		}
+	}
+	if o.Expand <= 0 {
+		o.Expand = 10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RowTopKApprox returns an approximate Row-Top-k answer: per query, k probe
+// entries whose values are exact inner products, but which may miss some
+// true top-k members (the only approximate retrieval mode besides the BLSH
+// bucket algorithm, and the only one that can miss by design).
+func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (retrieval.TopK, Stats, error) {
+	if q.R() != ix.r {
+		return nil, Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	m := q.N()
+	aopts = aopts.withDefaults(m)
+	st := Stats{Queries: m, Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	out := make(retrieval.TopK, m)
+	if m == 0 || ix.n == 0 {
+		return out, st, nil
+	}
+
+	// Phase 1: cluster the queries (charged to tuning time: it plays the
+	// same role — a small upfront investment guiding retrieval).
+	tuneStart := time.Now()
+	clusters := kmeans.Spherical(q, aopts.Clusters, aopts.MaxIter, aopts.Seed)
+	st.TuneTime = time.Since(tuneStart)
+
+	// Phase 2: exact Row-Top-k' for the centroids.
+	kk := k
+	if kk > ix.n {
+		kk = ix.n
+	}
+	expanded := kk * aopts.Expand
+	if expanded > ix.n {
+		expanded = ix.n
+	}
+	centroidTop, centroidStats, err := ix.RowTopK(clusters.Centroids, expanded)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.Candidates += centroidStats.Candidates
+	st.ProcessedPairs += centroidStats.ProcessedPairs
+	st.PrunedPairs += centroidStats.PrunedPairs
+
+	// Phase 3: answer each query exactly over its centroid's candidates.
+	start := time.Now()
+	heap := topk.New(kk)
+	for i := 0; i < m; i++ {
+		qi := q.Vec(i)
+		cands := centroidTop[clusters.Assign[i]]
+		heap.Reset()
+		for _, e := range cands {
+			heap.Push(e.Probe, vecmath.Dot(qi, ix.probeVec(e.Probe)))
+		}
+		st.Candidates += int64(len(cands))
+		items := heap.Items()
+		row := make([]retrieval.Entry, len(items))
+		for t, it := range items {
+			row[t] = retrieval.Entry{Query: i, Probe: it.ID, Value: it.Value}
+		}
+		st.Results += int64(len(row))
+		out[i] = row
+	}
+	st.RetrievalTime = centroidStats.RetrievalTime + time.Since(start)
+	ix.countIndexedBuckets(&st)
+	return out, st, nil
+}
+
+// probeVec reconstructs the raw probe vector with the given original id.
+// Approximate retrieval needs random access by original id; build the
+// lookup lazily on first use.
+func (ix *Index) probeVec(id int) []float64 {
+	ix.probeOnce.Do(func() {
+		loc := make([]probeLoc, ix.n)
+		for bi, b := range ix.buckets {
+			for lid := 0; lid < b.size(); lid++ {
+				loc[b.ids[lid]] = probeLoc{bucket: int32(bi), lid: int32(lid)}
+			}
+		}
+		ix.probeLocs = loc
+	})
+	l := ix.probeLocs[id]
+	b := ix.buckets[l.bucket]
+	raw := make([]float64, ix.r)
+	vecmath.Scale(raw, b.dir(int(l.lid)), b.lens[l.lid])
+	return raw
+}
+
+type probeLoc struct {
+	bucket int32
+	lid    int32
+}
+
+// Recall returns the fraction of true top-k entries (per exact) that also
+// appear in approx, averaged over queries — the quality metric for
+// RowTopKApprox. Rows must correspond query by query.
+func Recall(exact, approx retrieval.TopK) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	var sum float64
+	var rows int
+	for i := range exact {
+		if len(exact[i]) == 0 {
+			continue
+		}
+		rows++
+		truth := make(map[int]bool, len(exact[i]))
+		for _, e := range exact[i] {
+			truth[e.Probe] = true
+		}
+		hit := 0
+		if i < len(approx) {
+			for _, e := range approx[i] {
+				if truth[e.Probe] {
+					hit++
+				}
+			}
+		}
+		sum += float64(hit) / float64(len(exact[i]))
+	}
+	if rows == 0 {
+		return 1
+	}
+	return sum / float64(rows)
+}

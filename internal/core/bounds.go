@@ -1,0 +1,39 @@
+package core
+
+import "math"
+
+// feasibleRegion returns the bounds [L_f, U_f] on p̄_f outside of which a
+// probe direction cannot reach cosine similarity θ_b with the query (§4.2,
+// "Bounding Coordinates"): solving
+//
+//	θ_b ≤ q̄_f·p̄_f + √(1−q̄_f²)·√(1−p̄_f²)
+//
+// for p̄_f gives the roots L′/U′; the piecewise cases reattach the interval
+// where q̄_f·p̄_f ≥ θ_b alone suffices. For θ_b ≤ 0 pruning is impossible
+// in general and the full range [-1,1] is returned (this occurs only in
+// Row-Top-k runs whose running threshold is still negative).
+func feasibleRegion(qf, thetaB float64) (lo, hi float64) {
+	if thetaB <= 0 {
+		return -1, 1
+	}
+	if thetaB > 1 {
+		// The caller prunes whole buckets with θ_b > 1 before asking
+		// for coordinate bounds; an empty region keeps this safe
+		// anyway.
+		return 1, -1
+	}
+	root := math.Sqrt(math.Max(0, (1-thetaB*thetaB)*(1-qf*qf)))
+	l := qf*thetaB - root
+	u := qf*thetaB + root
+	lo, hi = l, u
+	// Reattach the {q̄_f·p̄_f ≥ θ_b} interval when it is non-empty: for
+	// q̄_f > 0 it is [θ_b/q̄_f, 1] (reaching 1 exactly when the quadratic
+	// root U′ passes θ_b/q̄_f), symmetrically for q̄_f < 0.
+	if qf > 0 && !(u < thetaB/qf) {
+		hi = 1
+	}
+	if qf < 0 && !(l > thetaB/qf) {
+		lo = -1
+	}
+	return lo, hi
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/naive"
+	"lemp/internal/retrieval"
+	"lemp/internal/vecmath"
+)
+
+// With strong length skew and a high threshold, the bucket-level pruning of
+// Algorithm 1 (line 13) must skip most (query, bucket) pairs — the headline
+// mechanism of the paper.
+func TestBucketPruningEffective(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	q := genMatrix(rng, 80, 8, 1.5, 1, false, 0, 0)
+	p := genMatrix(rng, 800, 8, 1.5, 1, false, 0, 0)
+	theta, _ := safeTheta(t, q, p, 30)
+	ix, _ := NewIndex(p, testOptions(AlgLI))
+	_, st := collectAbove(t, ix, q, theta)
+	total := st.ProcessedPairs + st.PrunedPairs
+	if total != int64(q.N())*int64(ix.NumBuckets()) {
+		t.Fatalf("pair accounting off: %d of %d", total, q.N()*ix.NumBuckets())
+	}
+	if frac := float64(st.PrunedPairs) / float64(total); frac < 0.5 {
+		t.Errorf("only %.0f%% of pairs pruned on a high-skew instance", frac*100)
+	}
+	// Lazy indexing: pruned buckets must not have been indexed.
+	if st.IndexedBuckets >= st.Buckets {
+		t.Errorf("all %d buckets indexed despite pruning", st.Buckets)
+	}
+}
+
+// A query longer than everything must process buckets; one shorter than
+// useful must be pruned everywhere. This exercises the sorted-query early
+// exits in the Above-θ worker.
+func TestQueryOrderEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	p := genMatrix(rng, 200, 6, 0.5, 1, false, 0, 0)
+	// One giant query, one tiny one.
+	q := matrix.New(6, 2)
+	for f := 0; f < 6; f++ {
+		q.Vec(0)[f] = 100
+		q.Vec(1)[f] = 1e-9
+	}
+	ix, _ := NewIndex(p, testOptions(AlgLI))
+	var got []retrieval.Entry
+	st, err := ix.AboveTheta(q, 5, retrieval.Collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range got {
+		if e.Query != 0 {
+			t.Fatalf("tiny query produced entry %+v", e)
+		}
+		if want := q.Product(p, e.Query, e.Probe); math.Abs(want-e.Value) > 1e-6 {
+			t.Fatalf("value mismatch: %g vs %g", e.Value, want)
+		}
+	}
+	// The tiny query must have been pruned against every bucket.
+	if st.PrunedPairs < int64(ix.NumBuckets()) {
+		t.Errorf("pruned pairs %d < buckets %d", st.PrunedPairs, ix.NumBuckets())
+	}
+}
+
+// Row-Top-k with all-negative products: the running threshold stays
+// negative and no bucket may be pruned, yet results must match Naive.
+func TestRowTopKAllNegativeProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	q := negate(genMatrix(rng, 25, 7, 0.8, 1, true, 0, 0))
+	p := genMatrix(rng, 150, 7, 0.8, 1, true, 0, 0)
+	want, _ := naive.RowTopK(q, p, 4)
+	for _, alg := range Algorithms() {
+		if !alg.Exact() {
+			continue
+		}
+		ix, _ := NewIndex(p, testOptions(alg))
+		got, st, err := ix.RowTopK(q, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		compareTopK(t, "neg-"+alg.String(), q, p, got, want)
+		if st.PrunedPairs != 0 {
+			t.Errorf("%v pruned %d pairs despite negative thresholds", alg, st.PrunedPairs)
+		}
+	}
+}
+
+// BLSH in Row-Top-k mode: the returned values must still be exact products
+// of real probes (only membership is approximate).
+func TestBLSHRowTopKValuesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	q := genMatrix(rng, 40, 10, 0.8, 1, false, 0, 0)
+	p := genMatrix(rng, 300, 10, 0.8, 1, false, 0, 0)
+	ix, _ := NewIndex(p, testOptions(AlgBLSH))
+	got, _, err := ix.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := naive.RowTopK(q, p, 5)
+	var sumExact, sumGot float64
+	for i, row := range got {
+		if len(row) != 5 {
+			t.Fatalf("row %d has %d entries", i, len(row))
+		}
+		for j, e := range row {
+			want := q.Product(p, i, e.Probe)
+			if math.Abs(e.Value-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("row %d: value %g is not the product %g", i, e.Value, want)
+			}
+			sumGot += e.Value
+			sumExact += exact[i][j].Value
+		}
+	}
+	// Aggregate quality: the approximate top-k mass should be close to
+	// the exact mass (ε = 0.03 per candidate).
+	if sumGot < 0.9*sumExact {
+		t.Errorf("BLSH top-k mass %.3f far below exact %.3f", sumGot, sumExact)
+	}
+}
+
+// Repeated retrieval calls on one Index must agree (lazy structures are
+// built once; CP arrays carry garbage between queries by design).
+func TestIndexReuseAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	q := genMatrix(rng, 50, 8, 1.0, 1, false, 0, 0)
+	p := genMatrix(rng, 350, 8, 1.0, 1, false, 0, 0)
+	theta, _ := safeTheta(t, q, p, 120)
+	ix, _ := NewIndex(p, testOptions(AlgLI))
+	first, _ := collectAbove(t, ix, q, theta)
+	for trial := 0; trial < 3; trial++ {
+		again, _ := collectAbove(t, ix, q, theta)
+		if !retrieval.EqualSets(first, again) {
+			t.Fatalf("call %d returned %d entries, first returned %d", trial, len(again), len(first))
+		}
+	}
+	// Interleave a Row-Top-k call and re-check.
+	if _, _, err := ix.RowTopK(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := collectAbove(t, ix, q, theta)
+	if !retrieval.EqualSets(first, again) {
+		t.Fatal("Above-θ results changed after a Row-Top-k call")
+	}
+}
+
+// The L2AP bucket index must transparently rebuild when a later run needs a
+// smaller index-time threshold.
+func TestL2APIndexRebuildOnSmallerThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	q := genMatrix(rng, 40, 8, 0.8, 1, false, 0, 0)
+	p := genMatrix(rng, 250, 8, 0.8, 1, false, 0, 0)
+	thetaHigh, _ := safeTheta(t, q, p, 20)
+	thetaLow, _ := safeTheta(t, q, p, 600)
+	if thetaLow >= thetaHigh {
+		t.Skip("levels collapsed")
+	}
+	ix, _ := NewIndex(p, testOptions(AlgL2AP))
+	// High threshold first: the index is built with a large t0.
+	var wantHigh, wantLow []retrieval.Entry
+	naive.AboveTheta(q, p, thetaHigh, retrieval.Collect(&wantHigh))
+	naive.AboveTheta(q, p, thetaLow, retrieval.Collect(&wantLow))
+	gotHigh, _ := collectAbove(t, ix, q, thetaHigh)
+	if !retrieval.EqualSets(gotHigh, wantHigh) {
+		t.Fatalf("high-θ run: %d vs %d", len(gotHigh), len(wantHigh))
+	}
+	// Low threshold afterwards: without the rebuild this would lose
+	// entries hidden in un-indexed prefixes.
+	gotLow, _ := collectAbove(t, ix, q, thetaLow)
+	if !retrieval.EqualSets(gotLow, wantLow) {
+		t.Fatalf("low-θ run after high-θ run: %d vs %d", len(gotLow), len(wantLow))
+	}
+}
+
+// Verification values must equal ‖q‖·‖p‖·cos(q,p) no matter which bucket
+// algorithm produced the candidates.
+func TestVerificationValueDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	q := genMatrix(rng, 30, 6, 0.7, 1, false, 0, 0)
+	p := genMatrix(rng, 200, 6, 0.7, 1, false, 0, 0)
+	theta, _ := safeTheta(t, q, p, 50)
+	ix, _ := NewIndex(p, testOptions(AlgLI))
+	got, _ := collectAbove(t, ix, q, theta)
+	for _, e := range got {
+		qv, pv := q.Vec(e.Query), p.Vec(e.Probe)
+		want := vecmath.Norm(qv) * vecmath.Norm(pv) * vecmath.Cos(qv, pv)
+		if math.Abs(e.Value-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("entry (%d,%d): %g vs decomposition %g", e.Query, e.Probe, e.Value, want)
+		}
+	}
+}

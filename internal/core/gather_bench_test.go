@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lemp/internal/vecmath"
+)
+
+// Micro-benchmarks of the per-(query,bucket) gather kernels, the inner loop
+// of the retrieval phase. One bucket of 1024 vectors at r=50 (the paper's
+// dimensionality), a mid-range local threshold.
+
+func benchBucket(b *testing.B) (*bucket, []float64, *scratch) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(301))
+	p := genMatrix(rng, 1024, 50, 0.6, 1, false, 0, 0)
+	buckets := bucketize(p, 0, 1, 0)
+	bk := buckets[0]
+	bk.ensureLists()
+	qdir := make([]float64, 50)
+	for f := range qdir {
+		qdir[f] = rng.NormFloat64()
+	}
+	vecmath.Normalize(qdir, qdir)
+	return bk, qdir, newScratch(bk.size(), 50)
+}
+
+func BenchmarkGatherLength(b *testing.B) {
+	bk, _, s := benchBucket(b)
+	theta := bk.lens[bk.size()/2] // half the bucket qualifies
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runLength(bk, theta, 1, s)
+	}
+}
+
+func BenchmarkGatherCoord(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCoord(bk, qdir, 0.7, 3, s)
+	}
+}
+
+func BenchmarkGatherIncr(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	theta := 0.7 * bk.lb
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runIncr(bk, qdir, 1, theta, 0.7, 3, s)
+	}
+}
+
+func BenchmarkGatherBucketTA(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBucketTA(bk, qdir, 0.7, s)
+	}
+}
+
+func BenchmarkGatherBucketTree(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	bk.ensureTree()
+	theta := 0.7 * bk.lb
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBucketTree(bk, qdir, 1, theta, s)
+	}
+}
+
+func BenchmarkGatherL2AP(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	bk.ensureL2AP(0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBucketL2AP(bk, qdir, 0.7, 0.7, s)
+	}
+}
+
+func BenchmarkVerification(b *testing.B) {
+	bk, qdir, s := benchBucket(b)
+	runLength(bk, bk.lens[bk.size()/2], 1, s) // ~512 candidates
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		for _, lid := range s.cand {
+			acc += vecmath.Dot(qdir, bk.dir(int(lid)))
+		}
+	}
+	verifySink = acc
+}

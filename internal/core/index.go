@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lemp/internal/lsh"
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/vecmath"
+)
+
+// Index is a LEMP index over a probe matrix P: the preprocessing phase of
+// Algorithm 1 (bucketization by length, normalization), with all per-bucket
+// search indexes built lazily during retrieval. An Index is immutable after
+// construction except for lazy index builds and tuning state; it supports
+// internal parallelism (Options.Parallelism), but distinct retrieval calls
+// must not run concurrently on the same Index.
+type Index struct {
+	opts      Options
+	r         int
+	n         int
+	buckets   []*bucket
+	maxBucket int
+	prepTime  time.Duration
+
+	lshOnce sync.Once
+	hasher  *lsh.Hasher
+	table   *lsh.Table
+
+	// Lazy original-id → (bucket, lid) lookup for RowTopKApprox.
+	probeOnce sync.Once
+	probeLocs []probeLoc
+}
+
+// NewIndex preprocesses the probe matrix into a LEMP index. The matrix must
+// not be mutated while the index is in use (directions are copied, but the
+// cover-tree bucket algorithm rebuilds raw vectors from them).
+func NewIndex(p *matrix.Matrix, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	maxSize := 0
+	if opts.CacheBytes > 0 {
+		maxSize = opts.CacheBytes / bucketBytes(p.R())
+		if maxSize < opts.MinBucketSize {
+			maxSize = opts.MinBucketSize
+		}
+	}
+	ix := &Index{opts: opts, r: p.R(), n: p.N()}
+	ix.buckets = bucketize(p, opts.ShrinkFactor, opts.MinBucketSize, maxSize)
+	for _, b := range ix.buckets {
+		if b.size() > ix.maxBucket {
+			ix.maxBucket = b.size()
+		}
+	}
+	ix.prepTime = time.Since(start)
+	return ix, nil
+}
+
+// R returns the vector dimension.
+func (ix *Index) R() int { return ix.r }
+
+// N returns the number of indexed probe vectors.
+func (ix *Index) N() int { return ix.n }
+
+// NumBuckets returns the number of probe buckets.
+func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+
+// BucketSizes returns the size of each bucket in decreasing-length order.
+func (ix *Index) BucketSizes() []int {
+	out := make([]int, len(ix.buckets))
+	for i, b := range ix.buckets {
+		out[i] = b.size()
+	}
+	return out
+}
+
+// BucketInfo describes one probe bucket for introspection: its size and
+// length range, whether any lazy index has been built, and — after a
+// retrieval run with a tuning algorithm — the selected per-bucket
+// parameters t_b and φ_b (§4.4).
+type BucketInfo struct {
+	Size      int
+	MaxLength float64 // l_b, the length of the longest vector
+	MinLength float64
+	Indexed   bool    // a sorted-list/tree/L2AP/signature index exists
+	Tuned     bool    // t_b and φ_b were fitted by the last tuning pass
+	TB        float64 // switch threshold: LENGTH below, coordinate method above
+	Phi       int     // focus-set size φ_b
+}
+
+// Buckets reports the current per-bucket state in decreasing-length order.
+func (ix *Index) Buckets() []BucketInfo {
+	out := make([]BucketInfo, len(ix.buckets))
+	for i, b := range ix.buckets {
+		out[i] = BucketInfo{
+			Size:      b.size(),
+			MaxLength: b.lb,
+			MinLength: b.lens[b.size()-1],
+			Indexed:   b.indexed(),
+			Tuned:     b.tuned,
+			TB:        b.tb,
+			Phi:       b.phi,
+		}
+	}
+	return out
+}
+
+// PrepTime returns the wall-clock time of the preprocessing phase.
+func (ix *Index) PrepTime() time.Duration { return ix.prepTime }
+
+// Options returns the effective (defaulted) options.
+func (ix *Index) Options() Options { return ix.opts }
+
+// ensureLSH lazily creates the shared BLSH hyperplanes and posterior table.
+func (ix *Index) ensureLSH() (*lsh.Hasher, *lsh.Table) {
+	ix.lshOnce.Do(func() {
+		rng := rand.New(rand.NewSource(ix.opts.Seed))
+		ix.hasher = lsh.NewHasher(ix.r, ix.opts.SignatureBits, rng)
+		ix.table = lsh.NewTable(ix.opts.SignatureBits, ix.opts.Epsilon)
+	})
+	return ix.hasher, ix.table
+}
+
+// defaultPhi is the focus-set size used before tuning has produced a
+// per-bucket φ_b.
+func (ix *Index) defaultPhi() int {
+	phi := 3
+	if ix.opts.MaxPhi < phi {
+		phi = ix.opts.MaxPhi
+	}
+	if ix.r < phi {
+		phi = ix.r
+	}
+	if phi < 1 {
+		phi = 1
+	}
+	return phi
+}
+
+// resolve maps the configured algorithm to the concrete method for one
+// (bucket, θ_b) pair: mixed algorithms switch on the tuned t_b, and INCR
+// with φ_b = 1 degrades to COORD (Appendix A).
+func (ix *Index) resolve(b *bucket, thetaB float64) (Algorithm, int) {
+	alg := ix.opts.Algorithm
+	phi := ix.opts.Phi
+	if phi == 0 {
+		if b.tuned {
+			phi = b.phi
+		} else {
+			phi = ix.defaultPhi()
+		}
+	}
+	if phi > ix.r && ix.r > 0 {
+		phi = ix.r
+	}
+	tb := defaultTB
+	if b.tuned {
+		tb = b.tb
+	}
+	switch alg {
+	case AlgLC:
+		if thetaB < tb {
+			return AlgL, phi
+		}
+		return AlgC, phi
+	case AlgLI:
+		if thetaB < tb {
+			return AlgL, phi
+		}
+		if phi == 1 {
+			return AlgC, phi
+		}
+		return AlgI, phi
+	case AlgI:
+		if phi == 1 {
+			return AlgC, phi
+		}
+	}
+	return alg, phi
+}
+
+// defaultTB is the LENGTH-vs-coordinate switch used for buckets the tuning
+// sample never reached (their θ_b was above 1 for every sampled query, so
+// at retrieval time they are almost always pruned or barely scanned).
+const defaultTB = 0.9
+
+// gather runs the resolved bucket algorithm for one (query, bucket) pair,
+// leaving the candidate local ids in s.cand. qi is the query's index in the
+// sorted query set, qdir its unit direction, qlen its length (1 for
+// Row-Top-k), theta the global threshold (-Inf while a Row-Top-k heap is
+// not yet full), thetaB the local threshold, and l2T0 the index-time lower
+// bound for L2AP.
+func (ix *Index) gather(b *bucket, alg Algorithm, phi int, qi int32, qdir []float64, qlen, theta, thetaB, l2T0 float64, s *scratch) {
+	switch alg {
+	case AlgL:
+		runLength(b, theta, qlen, s)
+	case AlgC:
+		runCoord(b, qdir, thetaB, phi, s)
+	case AlgI:
+		runIncr(b, qdir, qlen, theta, thetaB, phi, s)
+	case AlgTA:
+		runBucketTA(b, qdir, thetaB, s)
+	case AlgTree:
+		runBucketTree(b, qdir, qlen, theta, s)
+	case AlgL2AP:
+		runBucketL2AP(b, qdir, thetaB, l2T0, s)
+	case AlgBLSH:
+		h, tbl := ix.ensureLSH()
+		runBucketBLSH(b, h, tbl, qi, qdir, qlen, theta, thetaB, s)
+	default:
+		panic(fmt.Sprintf("core: unresolved algorithm %v", alg))
+	}
+}
+
+// verifyAbove computes exact inner products for the candidates of one
+// (query, bucket) pair and emits entries passing θ (line 16 of Algorithm 1).
+func verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
+	st.Candidates += int64(len(s.cand))
+	s.work += int64(len(s.cand)) * int64(b.r)
+	for _, lid := range s.cand {
+		v := vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
+		if v >= theta {
+			st.Results++
+			emit(retrieval.Entry{Query: int(origID), Probe: int(b.ids[lid]), Value: v})
+		}
+	}
+}
+
+// countIndexedBuckets fills the lazy-index statistic after a run.
+func (ix *Index) countIndexedBuckets(st *Stats) {
+	st.IndexedBuckets = 0
+	for _, b := range ix.buckets {
+		if b.indexed() {
+			st.IndexedBuckets++
+		}
+	}
+}

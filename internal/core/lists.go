@@ -1,0 +1,50 @@
+package core
+
+import "sort"
+
+// sortedLists is the per-bucket sorted-list index of §4.2 (Fig. 4c): for
+// each coordinate f, the bucket's normalized values p̄_f paired with their
+// local ids, sorted by decreasing value. Values and ids live in parallel
+// arrays so COORD's id-only scans and INCR's value+id scans both stream
+// contiguously.
+type sortedLists struct {
+	n    int
+	vals []float64 // r lists of length n; list f at [f*n, (f+1)*n)
+	lids []int32
+}
+
+func buildLists(b *bucket) *sortedLists {
+	n, r := b.size(), b.r
+	sl := &sortedLists{n: n, vals: make([]float64, r*n), lids: make([]int32, r*n)}
+	perm := make([]int32, n)
+	for f := 0; f < r; f++ {
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.SliceStable(perm, func(x, y int) bool {
+			return b.dirs[int(perm[x])*r+f] > b.dirs[int(perm[y])*r+f]
+		})
+		vals := sl.vals[f*n : (f+1)*n]
+		lids := sl.lids[f*n : (f+1)*n]
+		for i, lid := range perm {
+			lids[i] = lid
+			vals[i] = b.dirs[int(lid)*r+f]
+		}
+	}
+	return sl
+}
+
+// list returns the value and id arrays of coordinate f.
+func (sl *sortedLists) list(f int) (vals []float64, lids []int32) {
+	return sl.vals[f*sl.n : (f+1)*sl.n], sl.lids[f*sl.n : (f+1)*sl.n]
+}
+
+// scanRange returns the half-open index range [start, end) of list f whose
+// values lie in [lo, hi]. The list is sorted decreasingly, so the range
+// starts at the first value ≤ hi and ends before the first value < lo.
+func (sl *sortedLists) scanRange(f int, lo, hi float64) (start, end int) {
+	vals, _ := sl.list(f)
+	start = sort.Search(len(vals), func(i int) bool { return vals[i] <= hi })
+	end = start + sort.Search(len(vals)-start, func(i int) bool { return vals[start+i] < lo })
+	return start, end
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testBucket(rng *rand.Rand, n, r int) *bucket {
+	p := randomProbe(rng, n, r, 0.5)
+	buckets := bucketize(p, 0, 1, 0) // single bucket holding everything
+	if len(buckets) != 1 {
+		panic("expected one bucket")
+	}
+	return buckets[0]
+}
+
+func TestSortedListsSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	b := testBucket(rng, 200, 7)
+	sl := b.ensureLists()
+	for f := 0; f < b.r; f++ {
+		vals, lids := sl.list(f)
+		if len(vals) != b.size() || len(lids) != b.size() {
+			t.Fatalf("list %d has %d entries", f, len(vals))
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(vals))) {
+			t.Fatalf("list %d not sorted decreasingly", f)
+		}
+		// Every lid appears exactly once and carries its own value.
+		seen := make([]bool, b.size())
+		for i, lid := range lids {
+			if seen[lid] {
+				t.Fatalf("list %d: duplicate lid %d", f, lid)
+			}
+			seen[lid] = true
+			if vals[i] != b.dir(int(lid))[f] {
+				t.Fatalf("list %d entry %d: value mismatch", f, i)
+			}
+		}
+	}
+}
+
+func TestEnsureListsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	b := testBucket(rng, 50, 4)
+	first := b.ensureLists()
+	if second := b.ensureLists(); second != first {
+		t.Error("ensureLists rebuilt the index")
+	}
+}
+
+func TestScanRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	b := testBucket(rng, 300, 5)
+	sl := b.ensureLists()
+	for trial := 0; trial < 500; trial++ {
+		f := rng.Intn(b.r)
+		lo := rng.Float64()*2 - 1
+		hi := lo + rng.Float64()*(1-lo)
+		start, end := sl.scanRange(f, lo, hi)
+		vals, _ := sl.list(f)
+		for i, v := range vals {
+			inRange := v >= lo && v <= hi
+			inScan := i >= start && i < end
+			if inRange != inScan {
+				t.Fatalf("f=%d [%g,%g]: index %d value %g inRange=%v inScan=%v (range [%d,%d))",
+					f, lo, hi, i, v, inRange, inScan, start, end)
+			}
+		}
+	}
+}
+
+// Property: scan ranges are consistent for arbitrary bounds, including
+// inverted and out-of-range ones.
+func TestScanRangeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	b := testBucket(rng, 120, 3)
+	sl := b.ensureLists()
+	f := func(loRaw, hiRaw int8, coord uint8) bool {
+		lo := float64(loRaw) / 64
+		hi := float64(hiRaw) / 64
+		fc := int(coord) % b.r
+		start, end := sl.scanRange(fc, lo, hi)
+		if start > end || start < 0 || end > b.size() {
+			return false
+		}
+		vals, _ := sl.list(fc)
+		for i := start; i < end; i++ {
+			if vals[i] < lo || vals[i] > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectFocus(t *testing.T) {
+	s := newScratch(10, 6)
+	qdir := []float64{0.1, -0.9, 0.3, 0.0, -0.2, 0.8}
+	s.selectFocus(qdir, 3)
+	if len(s.focus) != 3 {
+		t.Fatalf("focus size %d", len(s.focus))
+	}
+	want := []int32{1, 5, 2} // |values| 0.9, 0.8, 0.3
+	for i, f := range want {
+		if s.focus[i] != f {
+			t.Fatalf("focus %v, want %v", s.focus, want)
+		}
+	}
+	// φ larger than r.
+	s.selectFocus(qdir, 10)
+	if len(s.focus) != 6 {
+		t.Errorf("focus size %d with φ>r", len(s.focus))
+	}
+	// Deterministic on ties and reuse of the same scratch.
+	s.selectFocus(qdir, 3)
+	s.selectFocus(qdir, 3)
+	if len(s.focus) != 3 || s.focus[0] != 1 {
+		t.Errorf("reuse broke selection: %v", s.focus)
+	}
+}

@@ -1,0 +1,189 @@
+// Package core implements the LEMP framework of the paper: bucketization of
+// the probe vectors by length (§3), the Above-θ and Row-Top-k retrieval
+// drivers (§3.2, §4.5), the bucket-level retrieval algorithms LENGTH, COORD
+// and INCR (§4.1–4.3), sample-based algorithm selection (§4.4), and the
+// adapters that run TA, cover trees, L2AP and BayesLSH-Lite as bucket
+// algorithms (§5, §6.3).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algorithm selects the bucket-level retrieval method, mirroring the
+// LEMP-X naming of the paper's experimental study (§6).
+type Algorithm int
+
+const (
+	// AlgLI mixes LENGTH and INCR via the tuned per-bucket threshold t_b
+	// (§4.4) — the paper's overall winner and this library's default.
+	AlgLI Algorithm = iota
+	// AlgL uses only length-based pruning (§4.1).
+	AlgL
+	// AlgC uses only coordinate-based pruning (§4.2).
+	AlgC
+	// AlgI uses only incremental pruning (§4.3). Buckets tuned to φ_b = 1
+	// fall back to COORD, which computes the same candidates faster
+	// (Appendix A).
+	AlgI
+	// AlgLC mixes LENGTH and COORD via the tuned t_b.
+	AlgLC
+	// AlgTA runs the threshold algorithm inside each bucket.
+	AlgTA
+	// AlgTree runs a lazily built cover tree inside each bucket.
+	AlgTree
+	// AlgL2AP runs an L2AP index inside each bucket.
+	AlgL2AP
+	// AlgBLSH prunes length-qualified candidates with BayesLSH-Lite
+	// signatures. It is the only approximate method: results may miss a
+	// true entry with probability ε per candidate.
+	AlgBLSH
+)
+
+var algorithmNames = map[Algorithm]string{
+	AlgLI:   "LI",
+	AlgL:    "L",
+	AlgC:    "C",
+	AlgI:    "I",
+	AlgLC:   "LC",
+	AlgTA:   "TA",
+	AlgTree: "Tree",
+	AlgL2AP: "L2AP",
+	AlgBLSH: "BLSH",
+}
+
+// String returns the paper's LEMP-X suffix for the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists all bucket algorithms in a stable presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgL, AlgLI, AlgLC, AlgI, AlgC, AlgTA, AlgTree, AlgL2AP, AlgBLSH}
+}
+
+// ParseAlgorithm resolves a (case-insensitive) LEMP-X suffix such as "LI"
+// or "l2ap".
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algorithmNames {
+		if strings.EqualFold(s, name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Exact reports whether the algorithm guarantees exact results. Everything
+// except BLSH is exact.
+func (a Algorithm) Exact() bool { return a != AlgBLSH }
+
+// needsPhi reports whether the algorithm scans sorted lists and therefore
+// uses the focus-set size φ.
+func (a Algorithm) needsPhi() bool {
+	switch a {
+	case AlgC, AlgI, AlgLC, AlgLI:
+		return true
+	}
+	return false
+}
+
+// needsTB reports whether the algorithm switches between LENGTH and
+// coordinate pruning on the tuned threshold t_b.
+func (a Algorithm) needsTB() bool { return a == AlgLC || a == AlgLI }
+
+// Options configure an Index. The zero value selects the paper's defaults;
+// use it directly or adjust individual fields.
+type Options struct {
+	// Algorithm is the bucket method (default AlgLI, the paper's best).
+	Algorithm Algorithm
+	// Phi fixes the number of focus coordinates for COORD/INCR. 0 tunes
+	// φ_b per bucket on a query sample (§4.4).
+	Phi int
+	// MaxPhi bounds the tuning search space (default 5, the paper's
+	// "typically in the range of 1–5").
+	MaxPhi int
+	// CacheBytes is the per-bucket memory budget that keeps a bucket's
+	// vectors and index cache-resident (§3.2). Default 2 MiB; negative
+	// disables the limit (the cache-oblivious ablation of §6.2).
+	CacheBytes int
+	// MinBucketSize is the minimum number of vectors per bucket
+	// (default 30, as in the paper).
+	MinBucketSize int
+	// ShrinkFactor starts a new bucket when a vector's length falls below
+	// this fraction of the bucket's longest vector (default 0.9).
+	ShrinkFactor float64
+	// SampleQueries is the tuning sample size (default 30).
+	SampleQueries int
+	// TuneByCost replaces wall-clock tuning with a deterministic
+	// operation-count cost model. Results are identical either way; only
+	// the per-bucket algorithm choice can differ.
+	TuneByCost bool
+	// Parallelism fans the retrieval phase out over this many goroutines
+	// (default 1, matching the paper's single-threaded measurements).
+	Parallelism int
+	// SignatureBits is the BLSH signature length (default 32, ≤ 64).
+	SignatureBits int
+	// Epsilon is the BLSH false-negative rate (default 0.03).
+	Epsilon float64
+	// Seed drives the BLSH hyperplanes (default 1).
+	Seed int64
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.Phi < 0 {
+		o.Phi = 0
+	}
+	if o.MaxPhi == 0 {
+		o.MaxPhi = 5
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 2 << 20
+	}
+	if o.MinBucketSize == 0 {
+		o.MinBucketSize = 30
+	}
+	if o.ShrinkFactor == 0 {
+		o.ShrinkFactor = 0.9
+	}
+	if o.SampleQueries == 0 {
+		o.SampleQueries = 30
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.SignatureBits == 0 {
+		o.SignatureBits = 32
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.03
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// validate rejects out-of-range option values.
+func (o Options) validate() error {
+	if _, ok := algorithmNames[o.Algorithm]; !ok {
+		return fmt.Errorf("core: invalid algorithm %d", int(o.Algorithm))
+	}
+	if o.ShrinkFactor < 0 || o.ShrinkFactor > 1 {
+		return fmt.Errorf("core: ShrinkFactor %v out of [0,1]", o.ShrinkFactor)
+	}
+	if o.SignatureBits < 0 || o.SignatureBits > 64 {
+		return fmt.Errorf("core: SignatureBits %d out of [1,64]", o.SignatureBits)
+	}
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: Epsilon %v out of (0,1)", o.Epsilon)
+	}
+	if o.MinBucketSize < 1 {
+		return fmt.Errorf("core: MinBucketSize %d must be positive", o.MinBucketSize)
+	}
+	return nil
+}

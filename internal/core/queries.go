@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sort"
+
+	"lemp/internal/matrix"
+	"lemp/internal/vecmath"
+)
+
+// querySet is the preprocessed query matrix: normalized query directions
+// with their lengths, sorted by decreasing length (the paper sorts and
+// normalizes queries the same way it bucketizes P — footnote 1 of §3.2).
+// Sorting lets the Above-θ inner loop stop at the first query whose local
+// threshold exceeds 1: every later query is shorter.
+type querySet struct {
+	r    int
+	ids  []int32   // original query column numbers, by decreasing length
+	lens []float64 // query lengths, decreasing
+	dirs []float64 // normalized directions, contiguous
+}
+
+func prepareQueries(q *matrix.Matrix) *querySet {
+	m := q.N()
+	r := q.R()
+	qs := &querySet{
+		r:    r,
+		ids:  make([]int32, m),
+		lens: make([]float64, m),
+		dirs: make([]float64, m*r),
+	}
+	lens := q.Lengths()
+	for i := range qs.ids {
+		qs.ids[i] = int32(i)
+	}
+	sort.SliceStable(qs.ids, func(a, b int) bool { return lens[qs.ids[a]] > lens[qs.ids[b]] })
+	for i, id := range qs.ids {
+		qs.lens[i] = lens[id]
+		vecmath.Normalize(qs.dir(i), q.Vec(int(id)))
+	}
+	return qs
+}
+
+func (qs *querySet) n() int { return len(qs.ids) }
+
+// dir returns the normalized direction of the i-th longest query.
+func (qs *querySet) dir(i int) []float64 {
+	return qs.dirs[i*qs.r : (i+1)*qs.r : (i+1)*qs.r]
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// RowTopK retrieves, for every query vector, the k probe vectors with the
+// largest inner products (Problem 2; fewer when P holds fewer than k
+// vectors). Ties are broken arbitrarily.
+//
+// Per §4.5, each query runs Above-θ′ bucket by bucket in decreasing-length
+// order with a running lower bound θ′ — the current k-th best value —
+// starting unseeded (θ′ = -Inf, so the first bucket, which holds the
+// longest vectors, is scanned fully and plays the role of the paper's
+// "k longest vectors" seed). The query's length is irrelevant to the
+// ranking, so the search runs on the unit direction (‖q‖ = 1) and values
+// are rescaled at the end.
+func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error) {
+	if q.R() != ix.r {
+		return nil, Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	st := Stats{Queries: q.N(), Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	out := make(retrieval.TopK, q.N())
+	qs := prepareQueries(q)
+	if ix.n > 0 && ix.needsTuning() {
+		tuneStart := time.Now()
+		ix.tune(qs, tuneTopK{k: k})
+		st.TuneTime = time.Since(tuneStart)
+	}
+	start := time.Now()
+	if ix.opts.Parallelism == 1 || qs.n() < 2*ix.opts.Parallelism {
+		s := newScratch(ix.maxBucket, ix.r)
+		ix.topkWorker(qs, 0, qs.n(), k, s, out, &st)
+	} else {
+		workers := ix.opts.Parallelism
+		stats := make([]Stats, workers)
+		var wg sync.WaitGroup
+		chunk := (qs.n() + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > qs.n() {
+				hi = qs.n()
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				s := newScratch(ix.maxBucket, ix.r)
+				ix.topkWorker(qs, lo, hi, k, s, out, &stats[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, ws := range stats {
+			st.Candidates += ws.Candidates
+			st.Results += ws.Results
+			st.ProcessedPairs += ws.ProcessedPairs
+			st.PrunedPairs += ws.PrunedPairs
+		}
+	}
+	st.RetrievalTime = time.Since(start)
+	ix.countIndexedBuckets(&st)
+	return out, st, nil
+}
+
+// topkWorker answers queries [lo, hi) of the sorted query set. Each worker
+// owns its scratch and heap; output rows are disjoint, so no locking.
+func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retrieval.TopK, st *Stats) {
+	if ix.n == 0 {
+		return
+	}
+	kk := k
+	if kk > ix.n {
+		kk = ix.n
+	}
+	heap := topk.New(kk)
+	negInf := math.Inf(-1)
+	for qi := lo; qi < hi; qi++ {
+		origID := qs.ids[qi]
+		qlen := qs.lens[qi]
+		if qlen == 0 {
+			out[origID] = ix.zeroQueryRow(int(origID), kk)
+			st.Results += int64(kk)
+			continue
+		}
+		qdir := qs.dir(qi)
+		heap.Reset()
+		for _, b := range ix.buckets {
+			theta, thetaB := negInf, negInf
+			if thr, ok := heap.Threshold(); ok {
+				theta = thr
+				if b.lb == 0 {
+					// Zero-length probes: products are 0.
+					if theta > 0 {
+						st.PrunedPairs++
+						break
+					}
+					thetaB = -1
+				} else {
+					thetaB = theta / b.lb
+					if thetaB > 1 {
+						st.PrunedPairs++
+						break
+					}
+				}
+			} else if b.lb == 0 {
+				thetaB = -1
+			}
+			st.ProcessedPairs++
+			alg, phi := ix.resolve(b, thetaB)
+			ix.gather(b, alg, phi, int32(qi), qdir, 1, theta, thetaB, 0, s)
+			st.Candidates += int64(len(s.cand))
+			s.work += int64(len(s.cand)) * int64(ix.r)
+			for _, lid := range s.cand {
+				v := vecmath.Dot(qdir, b.dir(int(lid))) * b.lens[lid]
+				heap.Push(int(b.ids[lid]), v)
+			}
+		}
+		items := heap.Items()
+		row := make([]retrieval.Entry, len(items))
+		for t, it := range items {
+			row[t] = retrieval.Entry{Query: int(origID), Probe: it.ID, Value: it.Value * qlen}
+		}
+		st.Results += int64(len(row))
+		out[origID] = row
+	}
+}
+
+// zeroQueryRow answers a zero-length query: every product is 0, so any k
+// probes qualify; return the k longest for determinism.
+func (ix *Index) zeroQueryRow(origID, kk int) []retrieval.Entry {
+	row := make([]retrieval.Entry, 0, kk)
+	for _, b := range ix.buckets {
+		for lid := 0; lid < b.size() && len(row) < kk; lid++ {
+			row = append(row, retrieval.Entry{Query: origID, Probe: int(b.ids[lid]), Value: 0})
+		}
+		if len(row) == kk {
+			break
+		}
+	}
+	return row
+}

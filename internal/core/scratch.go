@@ -1,0 +1,89 @@
+package core
+
+import (
+	"lemp/internal/l2ap"
+)
+
+// scratch holds all per-worker mutable state so the retrieval phase does no
+// allocation per (query, bucket) pair and workers never share memory.
+//
+// The CP arrays (cp, cpdot, cpsq) use the appendix's no-clear trick: the
+// first scanned list *sets* entries, later lists accumulate, and the final
+// filter re-reads only the first list's scan range — entries outside it are
+// never read, so stale values are harmless and nothing is ever cleared.
+type scratch struct {
+	cp    []int32   // COORD counters
+	cpdot []float64 // INCR partial inner products q̄_Fᵀp̄_F
+	cpsq  []float64 // INCR partial squared norms ‖p̄_F‖²
+
+	taSeen []int32      // bucket-TA seen stamps (its own array: no collisions)
+	taHeap []taFrontier // bucket-TA frontier heap storage, reused per call
+
+	cand []int32 // candidate local ids of the current (query, bucket) pair
+
+	focus      []int32 // focus coordinates, by decreasing |q̄_f|
+	focusAbs   []float64
+	rangeStart []int
+	rangeEnd   []int
+
+	taMark int32 // current TA stamp
+
+	l2 *l2ap.Scratch
+
+	sigQuery int32  // query (sorted index) whose BLSH signature is cached
+	sig      uint64 // cached query signature
+
+	work int64 // deterministic cost counter for TuneByCost
+}
+
+// taFrontier is one active sorted list of the bucket-TA scan: its current
+// position, scan direction, and frontier contribution q̄_f·p̄_f.
+type taFrontier struct {
+	contrib float64
+	f       int32
+	pos     int32
+	dir     int32 // +1 top-down, -1 bottom-up
+}
+
+func newScratch(maxBucket, r int) *scratch {
+	return &scratch{
+		cp:         make([]int32, maxBucket),
+		cpdot:      make([]float64, maxBucket),
+		cpsq:       make([]float64, maxBucket),
+		taSeen:     make([]int32, maxBucket),
+		focus:      make([]int32, 0, r),
+		focusAbs:   make([]float64, 0, r),
+		rangeStart: make([]int, r),
+		rangeEnd:   make([]int, r),
+		l2:         l2ap.NewScratch(maxBucket, r),
+		sigQuery:   -1,
+	}
+}
+
+// selectFocus fills s.focus with the φ coordinates of q̄ having the largest
+// absolute values (§4.2: large coordinates give the smallest feasible
+// regions), by insertion into a small ordered buffer.
+func (s *scratch) selectFocus(qdir []float64, phi int) {
+	s.focus = s.focus[:0]
+	s.focusAbs = s.focusAbs[:0]
+	for f, v := range qdir {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if len(s.focus) < phi {
+			s.focus = append(s.focus, int32(f))
+			s.focusAbs = append(s.focusAbs, a)
+		} else if a <= s.focusAbs[len(s.focusAbs)-1] {
+			continue
+		} else {
+			s.focus[len(s.focus)-1] = int32(f)
+			s.focusAbs[len(s.focusAbs)-1] = a
+		}
+		// Bubble the new entry to its rank (φ ≤ 5: cheap).
+		for i := len(s.focus) - 1; i > 0 && s.focusAbs[i] > s.focusAbs[i-1]; i-- {
+			s.focusAbs[i], s.focusAbs[i-1] = s.focusAbs[i-1], s.focusAbs[i]
+			s.focus[i], s.focus[i-1] = s.focus[i-1], s.focus[i]
+		}
+	}
+}

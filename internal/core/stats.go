@@ -1,0 +1,46 @@
+package core
+
+import "time"
+
+// Stats reports the work done by one retrieval run, in the units the
+// paper's tables use: wall-clock phases and average candidate set sizes.
+type Stats struct {
+	Queries int // number of query vectors processed
+	Buckets int // number of probe buckets in the index
+
+	// Candidates counts probe vectors that survived bucket-level pruning
+	// and were verified with an exact inner product — the paper's |C|
+	// column. Results counts verified entries that passed the threshold
+	// (or ended in a top-k set).
+	Candidates int64
+	Results    int64
+
+	// ProcessedPairs and PrunedPairs count (query, bucket) combinations
+	// that were processed vs. skipped because the local threshold
+	// exceeded 1 (line 13 of Algorithm 1).
+	ProcessedPairs int64
+	PrunedPairs    int64
+
+	// IndexedBuckets counts buckets whose sorted-list (or tree, L2AP,
+	// signature) index was actually built — LEMP builds lazily (§4.2).
+	IndexedBuckets int
+
+	PrepTime      time.Duration // bucketization + sorting + normalization
+	TuneTime      time.Duration // sample-based algorithm selection (§4.4)
+	RetrievalTime time.Duration // the retrieval phase itself
+}
+
+// TotalTime returns preprocessing + tuning + retrieval, the paper's
+// "total wall-clock time" (Figs. 5–7, Tables 3–6).
+func (s Stats) TotalTime() time.Duration {
+	return s.PrepTime + s.TuneTime + s.RetrievalTime
+}
+
+// CandidatesPerQuery returns the average candidate set size per query, the
+// parenthesized |C|/q column of Tables 3–6.
+func (s Stats) CandidatesPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Candidates) / float64(s.Queries)
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// Sample-based algorithm selection (§4.4). For a small sample of query
+// vectors, LEMP times LENGTH and the coordinate method with each focus-set
+// size φ ∈ 1..MaxPhi on every bucket the sample reaches, then picks per
+// bucket the φ_b with the smallest total cost and — for the mixed LC/LI
+// algorithms — the switch threshold t_b that minimizes total cost under the
+// rule "use LENGTH whenever θ_b(q) < t_b". Costs are wall-clock by default
+// (the paper's approach) or a deterministic operation count with
+// Options.TuneByCost.
+
+// needsTuning reports whether the configured algorithm has per-bucket
+// parameters to select.
+func (ix *Index) needsTuning() bool {
+	a := ix.opts.Algorithm
+	if a.needsTB() {
+		return true
+	}
+	return a.needsPhi() && ix.opts.Phi == 0
+}
+
+// tuneAbove and tuneTopK carry the problem context into the tuner; the
+// sample must be measured at the thresholds the real run will see.
+type tuneAbove struct{ theta float64 }
+type tuneTopK struct{ k int }
+
+// observation is the measured cost of both method families for one
+// (query, bucket) pair.
+type observation struct {
+	thetaB  float64
+	costL   float64
+	costPhi []float64 // indexed by φ; 0 unused
+}
+
+func (ix *Index) tune(qs *querySet, prob any) {
+	for _, b := range ix.buckets {
+		b.tuned = false
+	}
+	sample := sampleIndices(qs.n(), ix.opts.SampleQueries)
+	s := newScratch(ix.maxBucket, ix.r)
+	obs := make([][]observation, len(ix.buckets))
+
+	switch p := prob.(type) {
+	case tuneAbove:
+		for _, qi := range sample {
+			qlen := qs.lens[qi]
+			if qlen == 0 {
+				break
+			}
+			qdir := qs.dir(qi)
+			for bi, b := range ix.buckets {
+				thetaB := p.theta / (qlen * b.lb)
+				if thetaB > 1 {
+					break // buckets are ordered by decreasing l_b
+				}
+				obs[bi] = append(obs[bi], ix.observe(b, qdir, qlen, p.theta, thetaB, s))
+			}
+		}
+	case tuneTopK:
+		kk := p.k
+		if kk > ix.n {
+			kk = ix.n
+		}
+		if kk == 0 {
+			break
+		}
+		heap := topk.New(kk)
+		for _, qi := range sample {
+			qlen := qs.lens[qi]
+			if qlen == 0 {
+				break
+			}
+			qdir := qs.dir(qi)
+			heap.Reset()
+			for bi, b := range ix.buckets {
+				theta, thetaB := math.Inf(-1), math.Inf(-1)
+				if thr, ok := heap.Threshold(); ok {
+					theta = thr
+					if b.lb == 0 {
+						if theta > 0 {
+							break
+						}
+						thetaB = -1
+					} else {
+						thetaB = theta / b.lb
+						if thetaB > 1 {
+							break
+						}
+					}
+				} else if b.lb == 0 {
+					thetaB = -1
+				}
+				// Coordinate methods only ever run with
+				// θ_b ∈ (0,1]; below that resolve() forces
+				// LENGTH, so there is nothing to measure.
+				if thetaB > 0 {
+					obs[bi] = append(obs[bi], ix.observe(b, qdir, 1, theta, thetaB, s))
+				}
+				// Advance the running threshold with an exact
+				// LENGTH pass (the sample must follow the same
+				// θ′ trajectory as a real run).
+				runLength(b, theta, 1, s)
+				for _, lid := range s.cand {
+					heap.Push(int(b.ids[lid]), vecmath.Dot(qdir, b.dir(int(lid)))*b.lens[lid])
+				}
+			}
+		}
+	}
+
+	for bi, b := range ix.buckets {
+		ix.fitBucket(b, obs[bi])
+	}
+}
+
+// observe measures one (query, bucket) pair: the LENGTH cost and the
+// coordinate-family cost for every candidate φ, each including candidate
+// verification (the dominant term).
+func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64, s *scratch) observation {
+	o := observation{thetaB: thetaB, costPhi: make([]float64, ix.opts.MaxPhi+1)}
+	byCost := ix.opts.TuneByCost
+
+	measure := func(gather func()) float64 {
+		s.work = 0
+		start := time.Now()
+		gather()
+		s.work += int64(len(s.cand)) * int64(b.r)
+		if !byCost {
+			var acc float64
+			for _, lid := range s.cand {
+				acc += vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
+			}
+			verifySink = acc // defeat dead-code elimination
+		}
+		if byCost {
+			return float64(s.work)
+		}
+		return float64(time.Since(start))
+	}
+
+	o.costL = measure(func() { runLength(b, theta, qlen, s) })
+
+	phis := ix.tunePhis()
+	incr := ix.opts.Algorithm == AlgLI || ix.opts.Algorithm == AlgI
+	for _, phi := range phis {
+		phi := phi
+		o.costPhi[phi] = measure(func() {
+			if incr && phi > 1 {
+				runIncr(b, qdir, qlen, theta, thetaB, phi, s)
+			} else {
+				runCoord(b, qdir, thetaB, phi, s)
+			}
+		})
+	}
+	return o
+}
+
+// verifySink absorbs verification results during tuning so the compiler
+// cannot elide the measured inner products.
+var verifySink float64
+
+// tunePhis returns the φ values the tuner tries: all of 1..MaxPhi when φ is
+// tuned, or just the fixed value.
+func (ix *Index) tunePhis() []int {
+	if ix.opts.Phi > 0 {
+		phi := ix.opts.Phi
+		if phi > ix.r && ix.r > 0 {
+			phi = ix.r
+		}
+		return []int{phi}
+	}
+	maxPhi := ix.opts.MaxPhi
+	if maxPhi > ix.r && ix.r > 0 {
+		maxPhi = ix.r
+	}
+	phis := make([]int, 0, maxPhi)
+	for phi := 1; phi <= maxPhi; phi++ {
+		phis = append(phis, phi)
+	}
+	return phis
+}
+
+// fitBucket selects φ_b and t_b from the bucket's observations.
+func (ix *Index) fitBucket(b *bucket, obs []observation) {
+	b.tuned = true
+	b.tb = defaultTB
+	b.phi = ix.defaultPhi()
+	if len(obs) == 0 {
+		return
+	}
+	phis := ix.tunePhis()
+	if len(phis) == 0 {
+		return
+	}
+	// φ_b: smallest total coordinate-method cost over the sample.
+	bestPhi, bestCost := phis[0], math.Inf(1)
+	for _, phi := range phis {
+		var total float64
+		for _, o := range obs {
+			total += o.costPhi[phi]
+		}
+		if total < bestCost {
+			bestPhi, bestCost = phi, total
+		}
+	}
+	b.phi = bestPhi
+	if !ix.opts.Algorithm.needsTB() {
+		return
+	}
+	// t_b: best split of the θ_b-sorted sample between LENGTH (below)
+	// and the coordinate method (above).
+	sort.Slice(obs, func(i, j int) bool { return obs[i].thetaB < obs[j].thetaB })
+	suffix := make([]float64, len(obs)+1)
+	for i := len(obs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + obs[i].costPhi[bestPhi]
+	}
+	var prefixL float64
+	bestSplit, bestTotal := 0, suffix[0] // split 0: coordinate method always
+	for i := 0; i < len(obs); i++ {
+		prefixL += obs[i].costL
+		if total := prefixL + suffix[i+1]; total < bestTotal {
+			bestSplit, bestTotal = i+1, total
+		}
+	}
+	switch bestSplit {
+	case 0:
+		b.tb = 0 // θ_b < 0 never holds against a positive threshold
+	case len(obs):
+		b.tb = math.Inf(1) // always LENGTH
+	default:
+		// Observations below the split use LENGTH: any t_b strictly
+		// between the two neighboring θ_b values realizes the split.
+		b.tb = (obs[bestSplit-1].thetaB + obs[bestSplit].thetaB) / 2
+	}
+}
+
+// sampleIndices spreads up to want indices evenly over [0, n).
+func sampleIndices(n, want int) []int {
+	if n <= want {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, want)
+	for i := range out {
+		out[i] = i * n / want
+	}
+	return out
+}

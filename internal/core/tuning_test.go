@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp/internal/retrieval"
+)
+
+func TestTuningSetsParametersOnAllBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	q := genMatrix(rng, 60, 10, 1.0, 1, false, 0, 0)
+	p := genMatrix(rng, 400, 10, 1.0, 1, false, 0, 0)
+	opts := testOptions(AlgLI)
+	ix, err := NewIndex(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, _ := safeTheta(t, q, p, 100)
+	if _, err := ix.AboveTheta(q, theta, func(retrieval.Entry) {}); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range ix.buckets {
+		if !b.tuned {
+			t.Fatalf("bucket %d not tuned", bi)
+		}
+		if b.phi < 1 || b.phi > opts.withDefaults().MaxPhi {
+			t.Fatalf("bucket %d: φ_b=%d out of range", bi, b.phi)
+		}
+		if math.IsNaN(b.tb) {
+			t.Fatalf("bucket %d: t_b is NaN", bi)
+		}
+	}
+}
+
+func TestNeedsTuning(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want bool
+	}{
+		{Options{Algorithm: AlgL}, false},
+		{Options{Algorithm: AlgLI}, true},
+		{Options{Algorithm: AlgLC}, true},
+		{Options{Algorithm: AlgLI, Phi: 3}, true}, // t_b still tuned
+		{Options{Algorithm: AlgI}, true},
+		{Options{Algorithm: AlgI, Phi: 2}, false}, // φ fixed, no t_b
+		{Options{Algorithm: AlgC, Phi: 1}, false},
+		{Options{Algorithm: AlgTA}, false},
+		{Options{Algorithm: AlgTree}, false},
+		{Options{Algorithm: AlgL2AP}, false},
+		{Options{Algorithm: AlgBLSH}, false},
+	}
+	rng := rand.New(rand.NewSource(92))
+	p := genMatrix(rng, 50, 4, 0.5, 1, false, 0, 0)
+	for _, c := range cases {
+		ix, err := NewIndex(p, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ix.needsTuning(); got != c.want {
+			t.Errorf("needsTuning(%v, φ=%d) = %v, want %v",
+				c.opts.Algorithm, c.opts.Phi, got, c.want)
+		}
+	}
+}
+
+func TestFitBucketSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	// r must be ≥ MaxPhi (5) or tunePhis caps the φ search space at r.
+	p := genMatrix(rng, 100, 6, 0.5, 1, false, 0, 0)
+	ix, _ := NewIndex(p, Options{Algorithm: AlgLI, TuneByCost: true})
+	b := ix.buckets[0]
+
+	// LENGTH cheap below θ_b = 0.5, coordinate method cheap above: the
+	// fitted t_b must land between the two clusters.
+	var obs []observation
+	for i := 0; i < 10; i++ {
+		thetaB := 0.1 + float64(i)*0.08 // 0.1 .. 0.82
+		o := observation{thetaB: thetaB, costPhi: make([]float64, 6)}
+		if thetaB < 0.5 {
+			o.costL = 1
+			for phi := 1; phi <= 5; phi++ {
+				o.costPhi[phi] = 10
+			}
+		} else {
+			o.costL = 10
+			for phi := 1; phi <= 5; phi++ {
+				o.costPhi[phi] = 1
+			}
+		}
+		obs = append(obs, o)
+	}
+	ix.fitBucket(b, obs)
+	if !b.tuned {
+		t.Fatal("bucket not marked tuned")
+	}
+	if b.tb < 0.4 || b.tb > 0.6 {
+		t.Errorf("t_b=%g, want ≈0.5", b.tb)
+	}
+
+	// All observations favor LENGTH: t_b = +Inf.
+	for i := range obs {
+		obs[i].costL = 1
+		for phi := 1; phi <= 5; phi++ {
+			obs[i].costPhi[phi] = 5
+		}
+	}
+	ix.fitBucket(b, obs)
+	if !math.IsInf(b.tb, 1) {
+		t.Errorf("t_b=%g, want +Inf (always LENGTH)", b.tb)
+	}
+
+	// All observations favor the coordinate method: t_b = 0.
+	for i := range obs {
+		obs[i].costL = 5
+		for phi := 1; phi <= 5; phi++ {
+			obs[i].costPhi[phi] = 1
+		}
+	}
+	ix.fitBucket(b, obs)
+	if b.tb != 0 {
+		t.Errorf("t_b=%g, want 0 (never LENGTH)", b.tb)
+	}
+
+	// φ_b follows the cheapest φ.
+	for i := range obs {
+		for phi := 1; phi <= 5; phi++ {
+			obs[i].costPhi[phi] = float64(10 - phi) // φ=5 cheapest
+		}
+	}
+	ix.fitBucket(b, obs)
+	if b.phi != 5 {
+		t.Errorf("φ_b=%d, want 5", b.phi)
+	}
+
+	// No observations: defaults.
+	ix.fitBucket(b, nil)
+	if !b.tuned || b.tb != defaultTB {
+		t.Errorf("empty-fit: tuned=%v tb=%g", b.tuned, b.tb)
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	got := sampleIndices(5, 10)
+	if len(got) != 5 {
+		t.Errorf("n<want: %v", got)
+	}
+	got = sampleIndices(100, 10)
+	if len(got) != 10 || got[0] != 0 || got[9] != 90 {
+		t.Errorf("spread: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("not strictly increasing: %v", got)
+		}
+	}
+	if got := sampleIndices(0, 4); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}
+
+// Tuning by cost and by wall-clock must both produce exact results (only
+// the per-bucket choices may differ).
+func TestTuningModesAgreeOnResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	q := genMatrix(rng, 50, 8, 1.2, 1, false, 0, 0)
+	p := genMatrix(rng, 300, 8, 1.2, 1, false, 0, 0)
+	theta, _ := safeTheta(t, q, p, 80)
+
+	byCost := testOptions(AlgLI)
+	byTime := byCost
+	byTime.TuneByCost = false
+
+	ixC, _ := NewIndex(p, byCost)
+	ixT, _ := NewIndex(p, byTime)
+	gotC, _ := collectAbove(t, ixC, q, theta)
+	gotT, _ := collectAbove(t, ixT, q, theta)
+	if !retrieval.EqualSets(gotC, gotT) {
+		t.Errorf("tuning mode changed results: %d vs %d entries", len(gotC), len(gotT))
+	}
+}

@@ -1,0 +1,213 @@
+package covertree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/naive"
+	"lemp/internal/retrieval"
+	"lemp/internal/vecmath"
+)
+
+func genMatrix(rng *rand.Rand, n, r int, sigma float64) *matrix.Matrix {
+	m := matrix.New(r, n)
+	for i := 0; i < n; i++ {
+		v := m.Vec(i)
+		var norm2 float64
+		for f := range v {
+			v[f] = rng.NormFloat64()
+			norm2 += v[f] * v[f]
+		}
+		scale := math.Exp(sigma * rng.NormFloat64())
+		if norm2 > 0 {
+			scale /= math.Sqrt(norm2)
+		}
+		for f := range v {
+			v[f] *= scale
+		}
+	}
+	return m
+}
+
+func TestValidateInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 2, 10, 300} {
+		p := genMatrix(rng, n, 5, 0.8)
+		tree := Build(p, DefaultBase)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.N() != n {
+			t.Fatalf("N=%d want %d", tree.N(), n)
+		}
+	}
+}
+
+func TestDuplicatePointsAllRetrievable(t *testing.T) {
+	vecs := [][]float64{{1, 2}, {1, 2}, {1, 2}, {3, 0}, {3, 0}}
+	p, _ := matrix.FromVectors(vecs)
+	tree := Build(p, DefaultBase)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := matrix.FromVectors([][]float64{{1, 1}})
+	var got []retrieval.Entry
+	tree.AboveTheta(q, 2.5, retrieval.Collect(&got))
+	if len(got) != 5 { // all five probes have product ≥ 2.5 (3 and 3)
+		t.Fatalf("got %d entries, want 5: %v", len(got), got)
+	}
+}
+
+func TestSingleTreeAboveThetaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 6; trial++ {
+		q := genMatrix(rng, 25, 6, 0.9)
+		p := genMatrix(rng, 200, 6, 0.9)
+		theta := pickTheta(q, p, 50+trial*30)
+		if theta <= 0 {
+			continue
+		}
+		var want, got []retrieval.Entry
+		naive.AboveTheta(q, p, theta, retrieval.Collect(&want))
+		tree := Build(p, DefaultBase)
+		st := tree.AboveTheta(q, theta, retrieval.Collect(&got))
+		if !retrieval.EqualSets(got, want) {
+			t.Fatalf("trial %d: tree %d vs naive %d entries", trial, len(got), len(want))
+		}
+		if st.Candidates <= 0 {
+			t.Error("no candidates counted")
+		}
+	}
+}
+
+func TestSingleTreeRowTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	q := genMatrix(rng, 20, 7, 1.1)
+	p := genMatrix(rng, 260, 7, 1.1)
+	for _, k := range []int{1, 5, 17, 500} {
+		want, _ := naive.RowTopK(q, p, k)
+		tree := Build(p, DefaultBase)
+		got, _ := tree.RowTopK(q, k)
+		compareTopKValues(t, "single", got, want)
+	}
+}
+
+func TestDualTreeAboveThetaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	q := genMatrix(rng, 30, 6, 0.9)
+	p := genMatrix(rng, 180, 6, 0.9)
+	theta := pickTheta(q, p, 80)
+	if theta <= 0 {
+		t.Skip("no positive threshold")
+	}
+	var want, got []retrieval.Entry
+	naive.AboveTheta(q, p, theta, retrieval.Collect(&want))
+	dual := NewDual(q, p, DefaultBase)
+	dual.AboveTheta(theta, retrieval.Collect(&got))
+	if !retrieval.EqualSets(got, want) {
+		t.Fatalf("dual %d vs naive %d entries", len(got), len(want))
+	}
+}
+
+func TestDualTreeRowTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	q := genMatrix(rng, 22, 6, 1.0)
+	p := genMatrix(rng, 150, 6, 1.0)
+	for _, k := range []int{1, 6, 400} {
+		want, _ := naive.RowTopK(q, p, k)
+		dual := NewDual(q, p, DefaultBase)
+		got, _ := dual.RowTopK(k)
+		compareTopKValues(t, "dual", got, want)
+	}
+}
+
+func TestDualTreeReusableAcrossRuns(t *testing.T) {
+	// Per-node bound caches must reset between runs; a second run with a
+	// larger k must not inherit tighter bounds from the first.
+	rng := rand.New(rand.NewSource(36))
+	q := genMatrix(rng, 15, 5, 0.8)
+	p := genMatrix(rng, 120, 5, 0.8)
+	dual := NewDual(q, p, DefaultBase)
+	if _, st := dual.RowTopK(1); st.Results != int64(q.N()) {
+		t.Fatalf("first run results %d", st.Results)
+	}
+	want, _ := naive.RowTopK(q, p, 8)
+	got, _ := dual.RowTopK(8)
+	compareTopKValues(t, "rerun", got, want)
+}
+
+func TestPruningActuallyHappens(t *testing.T) {
+	// Strong length skew and a high threshold: the tree must evaluate far
+	// fewer kernels than m·n.
+	rng := rand.New(rand.NewSource(37))
+	q := genMatrix(rng, 50, 6, 1.5)
+	p := genMatrix(rng, 1000, 6, 1.5)
+	theta := pickTheta(q, p, 20)
+	if theta <= 0 {
+		t.Skip("no positive threshold")
+	}
+	tree := Build(p, DefaultBase)
+	var got []retrieval.Entry
+	st := tree.AboveTheta(q, theta, retrieval.Collect(&got))
+	if st.Candidates >= int64(q.N())*int64(p.N())/2 {
+		t.Errorf("tree evaluated %d of %d kernels; no pruning", st.Candidates, q.N()*p.N())
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	empty := Build(matrix.New(4, 0), DefaultBase)
+	q := matrix.New(4, 3)
+	var got []retrieval.Entry
+	empty.AboveTheta(q, 1, retrieval.Collect(&got))
+	if len(got) != 0 {
+		t.Error("empty tree produced entries")
+	}
+	top, _ := empty.RowTopK(q, 2)
+	for _, row := range top {
+		if len(row) != 0 {
+			t.Error("empty tree produced top-k entries")
+		}
+	}
+	dual := NewDual(matrix.New(4, 0), matrix.New(4, 0), DefaultBase)
+	dual.AboveTheta(1, retrieval.Collect(&got))
+}
+
+func pickTheta(q, p *matrix.Matrix, level int) float64 {
+	var vals []float64
+	for i := 0; i < q.N(); i++ {
+		for j := 0; j < p.N(); j++ {
+			vals = append(vals, vecmath.Dot(q.Vec(i), p.Vec(j)))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	for lvl := level; lvl < len(vals); lvl++ {
+		if vals[lvl-1] <= 0 {
+			return -1
+		}
+		if vals[lvl-1]-vals[lvl] > 1e-7*(1+math.Abs(vals[lvl-1])) {
+			return (vals[lvl-1] + vals[lvl]) / 2
+		}
+	}
+	return -1
+}
+
+func compareTopKValues(t *testing.T, label string, got, want retrieval.TopK) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s row %d: %d entries, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			gv, wv := got[i][j].Value, want[i][j].Value
+			if math.Abs(gv-wv) > 1e-9*(1+math.Abs(wv)) {
+				t.Fatalf("%s row %d rank %d: %g vs %g", label, i, j, gv, wv)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package covertree
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// Dual-tree max-kernel search (Curtin & Ram 2014, the paper's D-Tree
+// baseline). Queries are arranged in a second cover tree and processed in
+// batches. For a query node Nq (point qc, radius λq) and probe node Np
+// (point pc, radius λp), every pair q ∈ Nq, p ∈ Np satisfies
+//
+//	qᵀp = (qc+eq)ᵀ(pc+ep) ≤ qcᵀpc + λp‖qc‖ + λq‖pc‖ + λqλp,
+//
+// with ‖eq‖ ≤ λq and ‖ep‖ ≤ λp. The pair of subtrees is pruned when this
+// bound cannot reach the threshold (Above-θ) or the smallest running
+// top-k threshold among the queries below Nq (Row-Top-k) — the paper notes
+// this group bound is looser than the single-tree bound, which is why
+// D-Tree typically loses despite batching.
+
+// Dual couples a query tree and a probe tree.
+type Dual struct {
+	Q, P     *Tree
+	prepTime time.Duration
+}
+
+// NewDual builds cover trees over both matrices (the paper's D-Tree
+// preprocessing, charged with both constructions in Table 2).
+func NewDual(q, p *matrix.Matrix, base float64) *Dual {
+	start := time.Now()
+	d := &Dual{Q: Build(q, base), P: Build(p, base)}
+	d.prepTime = time.Since(start)
+	return d
+}
+
+// PrepTime returns the combined construction time of both trees.
+func (d *Dual) PrepTime() time.Duration { return d.prepTime }
+
+// pairBound returns the group upper bound for (nq, np) along with the
+// kernel value of the two node points.
+func (d *Dual) pairBound(nq, np *node) (bound, dot float64) {
+	dot = vecmath.Dot(d.Q.points.Vec(int(nq.point)), d.P.points.Vec(int(np.point)))
+	bound = dot + np.maxDist*d.Q.norms[nq.point] + nq.maxDist*d.P.norms[np.point] + nq.maxDist*np.maxDist
+	return bound, dot
+}
+
+// splitSide decides which node a traversal step splits: the one with the
+// larger radius (a leaf is never split).
+func splitSide(nq, np *node) (splitQuery bool) {
+	if nq.isLeaf() {
+		return false
+	}
+	if np.isLeaf() {
+		return true
+	}
+	return nq.maxDist > np.maxDist
+}
+
+// expand returns the traversal children of n: its real children plus a leaf
+// carrying n's own point, so every point stays reachable exactly once.
+func expand(n *node) []*node {
+	out := make([]*node, 0, len(n.children)+1)
+	out = append(out, n.selfChild())
+	out = append(out, n.children...)
+	return out
+}
+
+// pointsOf lists the point ids carried by a leaf node (its point plus
+// duplicates).
+func pointsOf(n *node) []int32 {
+	if len(n.dupes) == 0 {
+		return []int32{n.point}
+	}
+	return append([]int32{n.point}, n.dupes...)
+}
+
+// AboveTheta runs the dual-tree Above-θ search, emitting all entries of
+// QᵀP ≥ theta.
+func (d *Dual) AboveTheta(theta float64, emit retrieval.Sink) Stats {
+	start := time.Now()
+	st := Stats{Queries: d.Q.N(), PrepTime: d.prepTime}
+	if d.Q.root == nil || d.P.root == nil {
+		st.Time = time.Since(start)
+		return st
+	}
+	// recurse is entered with the pair's bound and point kernel already
+	// computed (counted by the caller), so each node pair costs exactly
+	// one inner product.
+	var recurse func(nq, np *node, bound, dot float64)
+	recurse = func(nq, np *node, bound, dot float64) {
+		if bound < theta {
+			return
+		}
+		if nq.isLeaf() && np.isLeaf() {
+			if dot >= theta {
+				for _, qid := range pointsOf(nq) {
+					for _, pid := range pointsOf(np) {
+						st.Results++
+						emit(retrieval.Entry{Query: int(qid), Probe: int(pid), Value: dot})
+					}
+				}
+			}
+			return
+		}
+		if splitQuery := splitSide(nq, np); splitQuery {
+			for _, c := range expand(nq) {
+				b, dt := d.pairBound(c, np)
+				st.Candidates++
+				recurse(c, np, b, dt)
+			}
+		} else {
+			for _, c := range expand(np) {
+				b, dt := d.pairBound(nq, c)
+				st.Candidates++
+				recurse(nq, c, b, dt)
+			}
+		}
+	}
+	b, dt := d.pairBound(d.Q.root, d.P.root)
+	st.Candidates++
+	recurse(d.Q.root, d.P.root, b, dt)
+	st.Time = time.Since(start)
+	return st
+}
+
+// RowTopK runs the dual-tree Row-Top-k search.
+func (d *Dual) RowTopK(k int) (retrieval.TopK, Stats) {
+	start := time.Now()
+	st := Stats{Queries: d.Q.N(), PrepTime: d.prepTime}
+	out := make(retrieval.TopK, d.Q.N())
+	if d.Q.root == nil || d.P.root == nil || d.P.N() == 0 {
+		st.Time = time.Since(start)
+		return out, st
+	}
+	kk := k
+	if kk > d.P.N() {
+		kk = d.P.N()
+	}
+	heaps := make([]*topk.Heap, d.Q.N())
+	for i := range heaps {
+		heaps[i] = topk.New(kk)
+	}
+	thr := func(q int32) float64 {
+		if v, ok := heaps[q].Threshold(); ok {
+			return v
+		}
+		return math.Inf(-1)
+	}
+	d.resetBounds(d.Q.root)
+	var recurse func(nq, np *node, bound, dot float64)
+	recurse = func(nq, np *node, bound, dot float64) {
+		// Refresh the query-group bound from (possibly stale, hence
+		// conservative) child caches; thresholds only rise, so a
+		// stale cache is a valid lower bound.
+		nq.bound = d.refreshBound(nq, thr)
+		if bound < nq.bound {
+			return
+		}
+		if nq.isLeaf() && np.isLeaf() {
+			for _, qid := range pointsOf(nq) {
+				for _, pid := range pointsOf(np) {
+					heaps[qid].Push(int(pid), dot)
+				}
+			}
+			nq.bound = d.refreshBound(nq, thr)
+			return
+		}
+		if splitQuery := splitSide(nq, np); splitQuery {
+			for _, c := range expand(nq) {
+				b, dt := d.pairBound(c, np)
+				st.Candidates++
+				recurse(c, np, b, dt)
+			}
+		} else {
+			// Visit the most promising probe children first so the
+			// per-query thresholds rise quickly.
+			children := expand(np)
+			type scored struct {
+				b, dot float64
+				n      *node
+			}
+			sc := make([]scored, len(children))
+			for i, c := range children {
+				b, dt := d.pairBound(nq, c)
+				st.Candidates++
+				sc[i] = scored{b: b, dot: dt, n: c}
+			}
+			sort.Slice(sc, func(i, j int) bool { return sc[i].b > sc[j].b })
+			for _, s := range sc {
+				recurse(nq, s.n, s.b, s.dot)
+			}
+		}
+	}
+	b, dt := d.pairBound(d.Q.root, d.P.root)
+	st.Candidates++
+	recurse(d.Q.root, d.P.root, b, dt)
+	for i := range heaps {
+		items := heaps[i].Items()
+		row := make([]retrieval.Entry, len(items))
+		for j, it := range items {
+			row[j] = retrieval.Entry{Query: i, Probe: it.ID, Value: it.Value}
+		}
+		st.Results += int64(len(row))
+		out[i] = row
+	}
+	st.Time = time.Since(start)
+	return out, st
+}
+
+// refreshBound recomputes the minimum running threshold among queries under
+// nq, reading child caches without recursion (stale child values are ≤ the
+// true value, so the result is a valid lower bound).
+func (d *Dual) refreshBound(nq *node, thr func(int32) float64) float64 {
+	if nq.isLeaf() {
+		b := thr(nq.point)
+		for _, dup := range nq.dupes {
+			if v := thr(dup); v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	var b float64
+	if nq.selfLeaf != nil {
+		b = nq.selfLeaf.bound
+	} else {
+		b = math.Inf(-1) // own point not yet visited as a leaf
+	}
+	for _, c := range nq.children {
+		if c.bound < b {
+			b = c.bound
+		}
+	}
+	return b
+}
+
+func (d *Dual) resetBounds(n *node) {
+	n.bound = math.Inf(-1)
+	if n.selfLeaf != nil {
+		n.selfLeaf.bound = math.Inf(-1)
+	}
+	for _, c := range n.children {
+		d.resetBounds(c)
+	}
+}

@@ -1,0 +1,51 @@
+package covertree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxDist must be the exact maximum distance from every node's point to any
+// point in its subtree — the single quantity all search bounds rely on.
+func TestMaxDistExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	p := genMatrix(rng, 400, 6, 1.2)
+	tree := Build(p, DefaultBase)
+
+	var walk func(n *node) []int32
+	walk = func(n *node) []int32 {
+		pts := []int32{n.point}
+		pts = append(pts, n.dupes...)
+		for _, c := range n.children {
+			pts = append(pts, walk(c)...)
+		}
+		var want float64
+		for _, q := range pts {
+			if d := tree.dist(n.point, q); d > want {
+				want = d
+			}
+		}
+		if diff := n.maxDist - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("node %d: maxDist %g, exact %g", n.point, n.maxDist, want)
+		}
+		return pts
+	}
+	walk(tree.root)
+}
+
+func TestLevelForCoversDistance(t *testing.T) {
+	tree := &Tree{base: DefaultBase, logBase: math.Log(DefaultBase)}
+	for _, d := range []float64{0.001, 0.5, 1, 1.3, 2, 100, 1e6} {
+		lvl := tree.levelFor(d)
+		if tree.covdist(lvl) < d*(1-1e-12) {
+			t.Errorf("levelFor(%g)=%d but covdist=%g < d", d, lvl, tree.covdist(lvl))
+		}
+		if lvl > 0 && tree.covdist(lvl-1) >= d*(1+1e-9) {
+			t.Errorf("levelFor(%g)=%d not minimal (covdist(l-1)=%g)", d, lvl, tree.covdist(lvl-1))
+		}
+	}
+	if tree.levelFor(0) != 0 {
+		t.Error("levelFor(0) != 0")
+	}
+}

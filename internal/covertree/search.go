@@ -1,0 +1,202 @@
+package covertree
+
+import (
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// The single-tree max-kernel bound (Curtin, Ram & Gray 2013), specialized
+// to the inner-product kernel K(q,p) = qᵀp: for any descendant p of a node
+// with point pc and radius λ = maxDist,
+//
+//	qᵀp = qᵀpc + qᵀ(p−pc) ≤ qᵀpc + ‖q‖·λ.
+//
+// A subtree is pruned when this bound cannot reach the threshold.
+
+// SearchAboveTheta walks the tree for query q (with norm qnorm) and calls
+// onEval for every point whose inner product with q is computed, passing
+// the exact value. Points in pruned subtrees are never evaluated. Callers
+// filter by value; the number of onEval calls is the paper's candidate
+// count. It returns the number of inner products computed.
+func (t *Tree) SearchAboveTheta(q []float64, qnorm, theta float64, onEval func(id int32, v float64)) int64 {
+	if t.root == nil {
+		return 0
+	}
+	var evals int64
+	var visit func(n *node, dotN float64)
+	visit = func(n *node, dotN float64) {
+		onEval(n.point, dotN)
+		for _, d := range n.dupes {
+			evals++ // identical point: value known without recomputation
+			onEval(d, dotN)
+		}
+		for _, c := range n.children {
+			dc := vecmath.Dot(q, t.points.Vec(int(c.point)))
+			evals++
+			if dc+qnorm*c.maxDist >= theta {
+				visit(c, dc)
+			} else {
+				// Subtree pruned; the child's own product was
+				// still computed, so report it.
+				onEval(c.point, dc)
+				for _, d := range c.dupes {
+					evals++
+					onEval(d, dc)
+				}
+			}
+		}
+	}
+	dr := vecmath.Dot(q, t.points.Vec(int(t.root.point)))
+	evals++
+	if dr+qnorm*t.root.maxDist >= theta {
+		visit(t.root, dr)
+	} else {
+		onEval(t.root.point, dr)
+		for _, d := range t.root.dupes {
+			evals++
+			onEval(d, dr)
+		}
+	}
+	return evals
+}
+
+// boundHeap is a max-heap of subtrees ordered by their kernel upper bound,
+// used by the best-first Row-Top-k search.
+type boundHeap struct {
+	list []boundEntry
+}
+
+type boundEntry struct {
+	bound float64
+	dot   float64
+	n     *node
+}
+
+func (h *boundHeap) push(e boundEntry) {
+	h.list = append(h.list, e)
+	i := len(h.list) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.list[parent].bound >= h.list[i].bound {
+			break
+		}
+		h.list[parent], h.list[i] = h.list[i], h.list[parent]
+		i = parent
+	}
+}
+
+func (h *boundHeap) pop() boundEntry {
+	top := h.list[0]
+	last := len(h.list) - 1
+	h.list[0] = h.list[last]
+	h.list = h.list[:last]
+	i, n := 0, len(h.list)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.list[l].bound > h.list[largest].bound {
+			largest = l
+		}
+		if r < n && h.list[r].bound > h.list[largest].bound {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.list[i], h.list[largest] = h.list[largest], h.list[i]
+		i = largest
+	}
+	return top
+}
+
+// SearchRowTopK returns the k points with the largest inner products with q
+// using best-first branch-and-bound, together with the number of inner
+// products computed.
+func (t *Tree) SearchRowTopK(q []float64, qnorm float64, k int) ([]topk.Item, int64) {
+	if t.root == nil || k <= 0 {
+		return nil, 0
+	}
+	kk := k
+	if kk > t.N() {
+		kk = t.N()
+	}
+	best := topk.New(kk)
+	var evals int64
+	var pq boundHeap
+	dr := vecmath.Dot(q, t.points.Vec(int(t.root.point)))
+	evals++
+	pq.push(boundEntry{bound: dr + qnorm*t.root.maxDist, dot: dr, n: t.root})
+	for len(pq.list) > 0 {
+		e := pq.pop()
+		if thr, ok := best.Threshold(); ok && e.bound < thr {
+			break // every remaining subtree is bounded below the k-th best
+		}
+		best.Push(int(e.n.point), e.dot)
+		for _, d := range e.n.dupes {
+			evals++
+			best.Push(int(d), e.dot)
+		}
+		for _, c := range e.n.children {
+			dc := vecmath.Dot(q, t.points.Vec(int(c.point)))
+			evals++
+			b := dc + qnorm*c.maxDist
+			if thr, ok := best.Threshold(); !ok || b >= thr {
+				pq.push(boundEntry{bound: b, dot: dc, n: c})
+			}
+		}
+	}
+	return best.Items(), evals
+}
+
+// Stats reports the work done by a standalone tree baseline run.
+type Stats struct {
+	Queries    int
+	Candidates int64 // inner products computed
+	Results    int64
+	PrepTime   time.Duration
+	Time       time.Duration
+}
+
+// AboveTheta runs the single-tree baseline for the Above-θ problem over all
+// query vectors.
+func (t *Tree) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink) Stats {
+	start := time.Now()
+	st := Stats{Queries: q.N(), PrepTime: t.prepTime}
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		qn := vecmath.Norm(qi)
+		st.Candidates += t.SearchAboveTheta(qi, qn, theta, func(id int32, v float64) {
+			if v >= theta {
+				st.Results++
+				emit(retrieval.Entry{Query: i, Probe: int(id), Value: v})
+			}
+		})
+	}
+	st.Time = time.Since(start)
+	return st
+}
+
+// RowTopK runs the single-tree baseline for the Row-Top-k problem over all
+// query vectors.
+func (t *Tree) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats) {
+	start := time.Now()
+	st := Stats{Queries: q.N(), PrepTime: t.prepTime}
+	out := make(retrieval.TopK, q.N())
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		items, evals := t.SearchRowTopK(qi, vecmath.Norm(qi), k)
+		st.Candidates += evals
+		row := make([]retrieval.Entry, len(items))
+		for j, it := range items {
+			row[j] = retrieval.Entry{Query: i, Probe: it.ID, Value: it.Value}
+		}
+		st.Results += int64(len(row))
+		out[i] = row
+	}
+	st.Time = time.Since(start)
+	return out, st
+}

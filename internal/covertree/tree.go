@@ -1,0 +1,224 @@
+// Package covertree implements the cover-tree substrate used by the paper's
+// tree-based baselines: the single-tree max-kernel search of Curtin, Ram &
+// Gray ("Fast exact max-kernel search", SDM 2013 — the paper's Tree
+// baseline) and the dual-tree variant of Curtin & Ram (2014 — the paper's
+// D-Tree baseline), both specialized to the inner-product kernel.
+//
+// The tree is a simplified cover tree (one point per node, children strictly
+// below their parent's level, children within the parent's cover radius).
+// Search correctness does not depend on the cover invariants: every bound
+// uses each node's exactly-computed maxDist (the maximum Euclidean distance
+// from the node's point to any descendant point), so the invariants affect
+// only efficiency. The paper sets the expansion base to 1.3; so do we.
+package covertree
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/vecmath"
+)
+
+// DefaultBase is the cover-tree expansion constant used in the paper (§6.1).
+const DefaultBase = 1.3
+
+// Tree is a cover tree over the vectors of a matrix. Points are referenced
+// by their index in the matrix.
+type Tree struct {
+	points   *matrix.Matrix
+	norms    []float64 // Euclidean norm of every point
+	base     float64
+	logBase  float64
+	root     *node
+	numNodes int
+	prepTime time.Duration
+}
+
+type node struct {
+	point    int32   // index into the point matrix
+	level    int32   // cover level; covdist = base^level
+	maxDist  float64 // exact max distance from point to any descendant point
+	children []*node
+	dupes    []int32 // points identical to this node's point
+	selfLeaf *node   // lazy: leaf copy of this node's point, for dual traversal
+	// bound caches the minimum running top-k threshold of the queries in
+	// this subtree during a dual-tree Row-Top-k traversal. Stale (too
+	// small) values are safe: they only weaken pruning.
+	bound float64
+}
+
+// Build constructs a cover tree over all vectors of points with the given
+// expansion base (use DefaultBase). The matrix must not be mutated while
+// the tree is in use.
+func Build(points *matrix.Matrix, base float64) *Tree {
+	start := time.Now()
+	if base <= 1 {
+		panic("covertree: base must exceed 1")
+	}
+	t := &Tree{points: points, base: base, logBase: math.Log(base)}
+	n := points.N()
+	t.norms = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t.norms[i] = vecmath.Norm(points.Vec(i))
+	}
+	for i := 0; i < n; i++ {
+		t.insert(int32(i))
+	}
+	if t.root != nil {
+		t.computeMaxDist(t.root)
+	}
+	t.prepTime = time.Since(start)
+	return t
+}
+
+// N returns the number of indexed points.
+func (t *Tree) N() int { return t.points.N() }
+
+// NumNodes returns the number of tree nodes (excluding duplicate lists).
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// PrepTime returns the wall-clock construction time.
+func (t *Tree) PrepTime() time.Duration { return t.prepTime }
+
+func (t *Tree) covdist(level int32) float64 {
+	return math.Pow(t.base, float64(level))
+}
+
+func (t *Tree) dist(a, b int32) float64 {
+	return vecmath.Dist(t.points.Vec(int(a)), t.points.Vec(int(b)))
+}
+
+func (t *Tree) newNode(point int32, level int32) *node {
+	t.numNodes++
+	return &node{point: point, level: level, bound: math.Inf(-1)}
+}
+
+// levelFor returns the smallest level l with base^l ≥ d.
+func (t *Tree) levelFor(d float64) int32 {
+	if d <= 0 {
+		return 0
+	}
+	return int32(math.Ceil(math.Log(d) / t.logBase))
+}
+
+func (t *Tree) insert(x int32) {
+	if t.root == nil {
+		t.root = t.newNode(x, 0)
+		return
+	}
+	d := t.dist(t.root.point, x)
+	if d == 0 {
+		t.root.dupes = append(t.root.dupes, x)
+		return
+	}
+	if d > t.covdist(t.root.level) {
+		// Raise the root's level until it covers x, then attach x
+		// directly beneath it. Raising a node's level preserves the
+		// covering of its existing children.
+		t.root.level = t.levelFor(d)
+		t.root.children = append(t.root.children, t.newNode(x, t.root.level-1))
+		return
+	}
+	t.insertCovered(t.root, x)
+}
+
+// insertCovered inserts x somewhere under p, given d(p,x) ≤ covdist(p).
+func (t *Tree) insertCovered(p *node, x int32) {
+	for {
+		// Descend into the nearest child that covers x.
+		var best *node
+		bestD := math.Inf(1)
+		for _, c := range p.children {
+			d := t.dist(c.point, x)
+			if d == 0 {
+				c.dupes = append(c.dupes, x)
+				return
+			}
+			if d <= t.covdist(c.level) && d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == nil {
+			p.children = append(p.children, t.newNode(x, p.level-1))
+			return
+		}
+		p = best
+	}
+}
+
+// computeMaxDist fills maxDist for every node: the exact maximum distance
+// from the node's point to any point in its subtree. It returns the list of
+// point indices in the subtree of n (shared backing storage is fine: the
+// caller only reads).
+func (t *Tree) computeMaxDist(n *node) []int32 {
+	pts := []int32{n.point}
+	pts = append(pts, n.dupes...)
+	for _, c := range n.children {
+		pts = append(pts, t.computeMaxDist(c)...)
+	}
+	var md float64
+	for _, p := range pts {
+		if d := t.dist(n.point, p); d > md {
+			md = d
+		}
+	}
+	n.maxDist = md
+	return pts
+}
+
+// selfChild returns (creating on first use) a leaf node carrying n's point
+// and duplicates, used when a dual traversal splits an internal node: the
+// node's own point must remain reachable as a leaf.
+func (n *node) selfChild() *node {
+	if n.selfLeaf == nil {
+		n.selfLeaf = &node{point: n.point, level: n.level - 1, dupes: n.dupes, bound: math.Inf(-1)}
+	}
+	return n.selfLeaf
+}
+
+// isLeaf reports whether n has no children.
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// Validate checks the structural invariants, returning a descriptive
+// non-nil error on the first violation. Used by tests.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		if t.points.N() != 0 {
+			return errorf("nil root with %d points", t.points.N())
+		}
+		return nil
+	}
+	count := 0
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		count += 1 + len(n.dupes)
+		for _, c := range n.children {
+			if c.level >= n.level {
+				return errorf("child level %d not below parent level %d", c.level, n.level)
+			}
+			if d := t.dist(n.point, c.point); d > t.covdist(n.level)*(1+1e-9) {
+				return errorf("child at distance %g exceeds cover radius %g", d, t.covdist(n.level))
+			}
+			if d := t.dist(n.point, c.point); d > n.maxDist+1e-9 {
+				return errorf("maxDist %g smaller than child distance %g", n.maxDist, d)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.points.N() {
+		return errorf("tree holds %d points, matrix has %d", count, t.points.N())
+	}
+	return nil
+}
+
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("covertree: "+format, args...)
+}

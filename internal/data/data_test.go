@@ -1,0 +1,142 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp/internal/matrix"
+)
+
+func TestProfilesMatchTable1Statistics(t *testing.T) {
+	// Generation must reproduce the paper's Table 1 statistics: CoV of
+	// lengths, sparsity, sign structure and r=50. Tolerances are loose
+	// because the profiles are scaled down ~65×.
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			q, pr := p.Generate()
+			if q.N() != p.M || pr.N() != p.N || q.R() != 50 {
+				t.Fatalf("dims: %dx%d and %dx%d", q.R(), q.N(), pr.R(), pr.N())
+			}
+			sq := matrix.ComputeStats(q)
+			sp := matrix.ComputeStats(pr)
+			checkCoV(t, "Q", sq.LengthCoV, p.CoVQ)
+			checkCoV(t, "P", sp.LengthCoV, p.CoVP)
+			wantNZ := p.Sparsity
+			if math.Abs(sp.NonZero-wantNZ) > 0.05 {
+				t.Errorf("P nonzero fraction %.3f, want %.3f", sp.NonZero, wantNZ)
+			}
+			if p.NonNeg {
+				for _, x := range pr.Data() {
+					if x < 0 {
+						t.Fatalf("negative entry in non-negative profile")
+					}
+				}
+			}
+		})
+	}
+}
+
+func checkCoV(t *testing.T, side string, got, want float64) {
+	t.Helper()
+	// Stratified quantile lengths hit the target CoV by construction.
+	if got < want*0.98 || got > want*1.02 {
+		t.Errorf("%s length CoV %.3f, want ≈%.3f", side, got, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	q1, p1 := IESVD.Generate()
+	q2, p2 := IESVD.Generate()
+	for i, x := range q1.Data() {
+		if q2.Data()[i] != x {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+	for i, x := range p1.Data() {
+		if p2.Data()[i] != x {
+			t.Fatal("probe generation not deterministic")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tr := IENMF.Transpose()
+	if tr.Name != "IE-NMFT" {
+		t.Errorf("name %q", tr.Name)
+	}
+	if tr.M != IENMF.N || tr.N != IENMF.M {
+		t.Errorf("dims not swapped: %d %d", tr.M, tr.N)
+	}
+	if tr.CoVQ != IENMF.CoVP || tr.CoVP != IENMF.CoVQ {
+		t.Errorf("CoVs not swapped")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := KDD.Scale(0.1)
+	if s.M != KDD.M/10 || s.N != KDD.N/10 {
+		t.Errorf("scaled dims %d %d", s.M, s.N)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"IE-NMF", "IE-SVD", "Netflix", "KDD", "IE-NMFT", "IE-SVDT"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q) returned %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestGenerateVectorsUnitMeanLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := GenerateVectors(rng, 4000, 10, 1.0, 1, false)
+	s := matrix.ComputeStats(m)
+	if s.LengthMean < 0.85 || s.LengthMean > 1.15 {
+		t.Errorf("mean length %.3f, want ≈1", s.LengthMean)
+	}
+	// No zero vectors are ever generated.
+	if s.MinLength <= 0 {
+		t.Errorf("min length %g", s.MinLength)
+	}
+}
+
+func TestGenerateVectorsPanicsOnBadSparsity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GenerateVectors(rand.New(rand.NewSource(1)), 1, 2, 0, 0, false)
+}
+
+func TestGenerateRatings(t *testing.T) {
+	cfg := RatingsConfig{Users: 50, Items: 40, Rank: 4, Density: 0.3, Noise: 0.1, Seed: 3}
+	ratings, users, items := GenerateRatings(cfg)
+	if users.N() != 50 || items.N() != 40 {
+		t.Fatalf("factor dims %d %d", users.N(), items.N())
+	}
+	if len(ratings) == 0 {
+		t.Fatal("no ratings generated")
+	}
+	density := float64(len(ratings)) / float64(50*40)
+	if density < 0.2 || density > 0.4 {
+		t.Errorf("observed density %.3f, want ≈0.3", density)
+	}
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= 50 || r.Item < 0 || r.Item >= 40 {
+			t.Fatalf("rating index out of range: %+v", r)
+		}
+		if r.Value < 1 || r.Value > 5 {
+			t.Fatalf("rating value %g outside default [1,5]", r.Value)
+		}
+	}
+}

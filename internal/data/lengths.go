@@ -1,0 +1,121 @@
+package data
+
+import "math"
+
+// Length assignment. Real factorization lengths are heavy-tailed; a
+// log-normal matches well. Sampling a heavy log-normal directly makes the
+// empirical CoV extremely noisy (a single tail draw can double it), so we
+// assign *stratified quantile* lengths instead: the i-th length is the
+// ((i+0.5)/n)-quantile of a log-normal whose σ is calibrated by binary
+// search so the finite sample's CoV equals the target exactly. The lengths
+// are then randomly permuted across vectors.
+
+// lengthsForCoV returns n positive lengths with mean 1 and coefficient of
+// variation cov (cov = 0 yields all-ones). The result is deterministic and
+// sorted ascending; callers shuffle.
+func lengthsForCoV(n int, cov float64) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if cov <= 0 || n == 1 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = invNormalCDF((float64(i) + 0.5) / float64(n))
+	}
+	// Empirical CoV of exp(σz) grows monotonically in σ.
+	lo, hi := 0.0, 12.0
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if quantileCoV(z, mid) < cov {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	sigma := (lo + hi) / 2
+	var mean float64
+	for i, zi := range z {
+		out[i] = math.Exp(sigma * zi)
+		mean += out[i]
+	}
+	mean /= float64(n)
+	for i := range out {
+		out[i] /= mean
+	}
+	return out
+}
+
+// quantileCoV returns the CoV of exp(σz) over the given quantile grid.
+func quantileCoV(z []float64, sigma float64) float64 {
+	var sum, sumSq float64
+	for _, zi := range z {
+		x := math.Exp(sigma * zi)
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(z))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// invNormalCDF is Acklam's rational approximation of the standard normal
+// quantile function (relative error < 1.15e-9 — far below what length
+// shaping needs). p must lie in (0,1).
+func invNormalCDF(p float64) float64 {
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p <= 0 || p >= 1:
+		panic("data: invNormalCDF requires p in (0,1)")
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+}

@@ -1,0 +1,60 @@
+package data
+
+import (
+	"math/rand"
+
+	"lemp/internal/matrix"
+	"lemp/internal/vecmath"
+)
+
+// Rating is one observed (user, item, value) triple of a feedback matrix,
+// the input of the matrix-factorization substrate in internal/mf.
+type Rating struct {
+	User  int
+	Item  int
+	Value float64
+}
+
+// RatingsConfig controls synthetic feedback-matrix generation for the
+// recommender example: a planted low-rank model plus observation noise,
+// sampled at a given density, with values clipped to [Min,Max] (1–5 stars by
+// default).
+type RatingsConfig struct {
+	Users   int
+	Items   int
+	Rank    int     // rank of the planted model
+	Density float64 // fraction of (user,item) cells observed
+	Noise   float64 // stddev of additive Gaussian noise
+	Min     float64 // minimum rating value (clip)
+	Max     float64 // maximum rating value (clip)
+	Seed    int64
+}
+
+// GenerateRatings samples a feedback matrix from a planted low-rank model:
+// true user/item factors are Gaussian, the observed value is their inner
+// product mapped into the rating scale plus noise. It returns the observed
+// triples and the planted factors (useful for validating MF recovery).
+func GenerateRatings(cfg RatingsConfig) (ratings []Rating, users, items *matrix.Matrix) {
+	if cfg.Min == 0 && cfg.Max == 0 {
+		cfg.Min, cfg.Max = 1, 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users = matrix.New(cfg.Rank, cfg.Users)
+	items = matrix.New(cfg.Rank, cfg.Items)
+	users.FillRandom(rng)
+	items.FillRandom(rng)
+	mid := (cfg.Min + cfg.Max) / 2
+	span := (cfg.Max - cfg.Min) / 2
+	scale := span / float64(cfg.Rank) * 2
+	for u := 0; u < cfg.Users; u++ {
+		for it := 0; it < cfg.Items; it++ {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			v := mid + scale*vecmath.Dot(users.Vec(u), items.Vec(it)) + cfg.Noise*rng.NormFloat64()
+			v = vecmath.Clamp(v, cfg.Min, cfg.Max)
+			ratings = append(ratings, Rating{User: u, Item: it, Value: v})
+		}
+	}
+	return ratings, users, items
+}

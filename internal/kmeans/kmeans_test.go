@@ -1,0 +1,147 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/vecmath"
+)
+
+// plantedClusters draws n vectors around k well-separated directions.
+func plantedClusters(rng *rand.Rand, n, k, r int, noise float64) (*matrix.Matrix, []int) {
+	centers := matrix.New(r, k)
+	for c := 0; c < k; c++ {
+		v := centers.Vec(c)
+		for f := range v {
+			v[f] = rng.NormFloat64()
+		}
+		vecmath.Normalize(v, v)
+	}
+	m := matrix.New(r, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		truth[i] = c
+		v := m.Vec(i)
+		for f := range v {
+			v[f] = centers.Vec(c)[f] + noise*rng.NormFloat64()
+		}
+		vecmath.Scale(v, v, 0.5+rng.Float64()*3) // lengths must not matter
+	}
+	return m, truth
+}
+
+func TestRecoversPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	m, truth := plantedClusters(rng, 400, 5, 16, 0.05)
+	res := Spherical(m, 5, 25, 7)
+	// Same-cluster pairs must map to the same centroid (checking pairs
+	// avoids label permutation issues).
+	agree, total := 0, 0
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(400), rng.Intn(400)
+		if truth[a] != truth[b] {
+			continue
+		}
+		total++
+		if res.Assign[a] == res.Assign[b] {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Skip("no same-cluster pairs sampled")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Errorf("same-cluster agreement %.2f, want ≥ 0.95", frac)
+	}
+	if res.Objective < 0.9 {
+		t.Errorf("objective %.3f too low for near-duplicate clusters", res.Objective)
+	}
+}
+
+func TestResultInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	m, _ := plantedClusters(rng, 150, 4, 8, 0.3)
+	res := Spherical(m, 6, 15, 3)
+	if res.Centroids.N() != 6 {
+		t.Fatalf("%d centroids", res.Centroids.N())
+	}
+	sizes := make([]int, 6)
+	for i, c := range res.Assign {
+		if c < 0 || c >= 6 {
+			t.Fatalf("vector %d assigned to %d", i, c)
+		}
+		sizes[c]++
+	}
+	for c := range sizes {
+		if sizes[c] != res.Sizes[c] {
+			t.Errorf("cluster %d size %d, recorded %d", c, sizes[c], res.Sizes[c])
+		}
+	}
+	for c := 0; c < 6; c++ {
+		n := vecmath.Norm(res.Centroids.Vec(c))
+		if math.Abs(n-1) > 1e-9 {
+			t.Errorf("centroid %d has norm %g", c, n)
+		}
+	}
+	if res.Iterations < 1 || res.Iterations > 15 {
+		t.Errorf("iterations %d", res.Iterations)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	m, _ := plantedClusters(rng, 100, 3, 6, 0.2)
+	a := Spherical(m, 3, 10, 42)
+	b := Spherical(m, 3, 10, 42)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	m, _ := plantedClusters(rng, 5, 2, 4, 0.1)
+	res := Spherical(m, 100, 5, 1)
+	if res.Centroids.N() != 5 {
+		t.Errorf("k not clamped to n: %d centroids", res.Centroids.N())
+	}
+	res = Spherical(m, 0, 5, 1)
+	if res.Centroids.N() != 1 {
+		t.Errorf("k not clamped to 1: %d centroids", res.Centroids.N())
+	}
+}
+
+func TestEmptyAndZeroInputs(t *testing.T) {
+	res := Spherical(matrix.New(4, 0), 3, 5, 1)
+	if len(res.Assign) != 0 {
+		t.Error("empty input produced assignments")
+	}
+	// All-zero vectors: must not panic, everything in cluster 0.
+	res = Spherical(matrix.New(4, 10), 2, 5, 1)
+	for i, c := range res.Assign {
+		if c != 0 {
+			t.Errorf("zero vector %d assigned to %d", i, c)
+		}
+	}
+}
+
+func TestLengthInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	m, _ := plantedClusters(rng, 120, 4, 8, 0.1)
+	scaled := m.Clone()
+	for i := 0; i < scaled.N(); i++ {
+		vecmath.Scale(scaled.Vec(i), scaled.Vec(i), 10*(1+rng.Float64()))
+	}
+	a := Spherical(m, 4, 12, 9)
+	b := Spherical(scaled, 4, 12, 9)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering depends on vector lengths")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp/internal/vecmath"
+)
+
+func TestSignatureDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	h := NewHasher(8, 32, rng)
+	v := []float64{1, -2, 3, 0.5, 0, -1, 2, 4}
+	if h.Signature(v) != h.Signature(v) {
+		t.Fatal("signature not deterministic")
+	}
+}
+
+func TestIdenticalVectorsMatchAllBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	h := NewHasher(6, 32, rng)
+	v := []float64{1, 2, 3, 4, 5, 6}
+	w := []float64{2, 4, 6, 8, 10, 12} // same direction
+	if m := Matches(h.Signature(v), h.Signature(w), 32); m != 32 {
+		t.Errorf("parallel vectors match %d/32 bits", m)
+	}
+}
+
+func TestOppositeVectorsMatchNoBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	h := NewHasher(5, 32, rng)
+	v := []float64{1, 2, 3, 4, 5}
+	w := []float64{-1, -2, -3, -4, -5}
+	// Projections are never exactly 0 for random planes, so signs flip.
+	if m := Matches(h.Signature(v), h.Signature(w), 32); m != 0 {
+		t.Errorf("antiparallel vectors match %d/32 bits", m)
+	}
+}
+
+func TestMatchFractionTracksCosine(t *testing.T) {
+	// Empirical bit-agreement must track ρ(s) = 1 − arccos(s)/π.
+	rng := rand.New(rand.NewSource(54))
+	h := NewHasher(16, 64, rng)
+	for _, target := range []float64{-0.5, 0, 0.5, 0.9} {
+		var agree, total int
+		for trial := 0; trial < 300; trial++ {
+			a := randUnit(rng, 16)
+			b := rotateToward(rng, a, target)
+			agree += Matches(h.Signature(a), h.Signature(b), 64)
+			total += 64
+		}
+		got := float64(agree) / float64(total)
+		want := MatchProbability(target)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("cos=%g: agreement %.3f, want %.3f", target, got, want)
+		}
+	}
+}
+
+func randUnit(rng *rand.Rand, r int) []float64 {
+	v := make([]float64, r)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	vecmath.Normalize(v, v)
+	return v
+}
+
+// rotateToward returns a unit vector with cosine ≈ c to a.
+func rotateToward(rng *rand.Rand, a []float64, c float64) []float64 {
+	// Gram-Schmidt a random direction against a, then combine.
+	b := randUnit(rng, len(a))
+	d := vecmath.Dot(a, b)
+	for i := range b {
+		b[i] -= d * a[i]
+	}
+	vecmath.Normalize(b, b)
+	out := make([]float64, len(a))
+	s := math.Sqrt(1 - c*c)
+	for i := range out {
+		out[i] = c*a[i] + s*b[i]
+	}
+	return out
+}
+
+func TestMatchProbabilityEndpoints(t *testing.T) {
+	if p := MatchProbability(1); p != 1 {
+		t.Errorf("ρ(1)=%g", p)
+	}
+	if p := MatchProbability(-1); p != 0 {
+		t.Errorf("ρ(-1)=%g", p)
+	}
+	if p := MatchProbability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("ρ(0)=%g", p)
+	}
+}
+
+func TestPosteriorMonotoneInMatches(t *testing.T) {
+	for _, threshold := range []float64{0.3, 0.6, 0.9} {
+		prev := -1.0
+		for m := 0; m <= 32; m++ {
+			p := Posterior(threshold, m, 32)
+			if p < prev-1e-9 {
+				t.Fatalf("posterior not monotone at t=%g m=%d: %g < %g", threshold, m, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPosteriorSanity(t *testing.T) {
+	// All 32 bits matching: cosine is almost surely high.
+	if p := Posterior(0.5, 32, 32); p < 0.95 {
+		t.Errorf("P(s≥0.5 | 32/32) = %g", p)
+	}
+	// No bits matching: cosine is almost surely very negative.
+	if p := Posterior(0.0, 0, 32); p > 0.05 {
+		t.Errorf("P(s≥0 | 0/32) = %g", p)
+	}
+	// Thresholds ≤ -1 are certain.
+	if p := Posterior(-1, 16, 32); math.Abs(p-1) > 1e-9 {
+		t.Errorf("P(s≥-1) = %g", p)
+	}
+}
+
+func TestMinMatchesMonotoneInThreshold(t *testing.T) {
+	prev := 0
+	for _, threshold := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		m := MinMatches(threshold, 32, 0.03)
+		if m < prev {
+			t.Fatalf("MinMatches not monotone: t=%g gives %d < %d", threshold, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestTableMatchesDirectComputation(t *testing.T) {
+	tb := NewTable(32, 0.03)
+	for _, threshold := range []float64{0.01, 0.25, 0.5, 0.77, 0.99} {
+		got := tb.MinMatches(threshold)
+		// The table floors the threshold to the grid, so it may only be
+		// *less* demanding than the exact value (conservative).
+		exact := MinMatches(threshold, 32, 0.03)
+		if got > exact {
+			t.Errorf("t=%g: table requires %d matches, exact %d (table must be ≤)", threshold, got, exact)
+		}
+		floor := MinMatches(math.Floor(threshold*100)/100, 32, 0.03)
+		if got != floor {
+			t.Errorf("t=%g: table %d, floored exact %d", threshold, got, floor)
+		}
+	}
+	if tb.MinMatches(-0.5) != 0 {
+		t.Error("negative threshold should require 0 matches")
+	}
+	if tb.MinMatches(1.5) != 33 {
+		t.Error("threshold > 1 should be unsatisfiable")
+	}
+}
+
+func TestMatchesMasksHighBits(t *testing.T) {
+	// With bits=8, differences above bit 7 must not count.
+	a := uint64(0x00)
+	b := uint64(0xFF00) // differs only in bits 8–15
+	if m := Matches(a, b, 8); m != 8 {
+		t.Errorf("Matches=%d, want 8", m)
+	}
+	if m := Matches(a, b, 16); m != 8 {
+		t.Errorf("Matches=%d, want 8 (8 of 16 agree)", m)
+	}
+}
+
+func TestHasherPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bits=65")
+		}
+	}()
+	NewHasher(4, 65, rand.New(rand.NewSource(1)))
+}

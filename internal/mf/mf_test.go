@@ -1,0 +1,80 @@
+package mf
+
+import (
+	"testing"
+
+	"lemp/internal/data"
+)
+
+func trainSmall(t *testing.T, cfg Config) (*Model, []data.Rating) {
+	t.Helper()
+	ratings, _, _ := data.GenerateRatings(data.RatingsConfig{
+		Users: 60, Items: 50, Rank: 4, Density: 0.4, Noise: 0.05, Seed: 8,
+	})
+	m, err := Train(ratings, 60, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ratings
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	m, _ := trainSmall(t, Config{Rank: 8, Epochs: 15, LearnRate: 0.02, Reg: 0.01, Seed: 1})
+	losses := m.LossByEpoch
+	if len(losses) != 15 {
+		t.Fatalf("%d loss entries", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0]*0.5 {
+		t.Errorf("loss barely decreased: %g -> %g", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTrainFitsObservedRatings(t *testing.T) {
+	m, ratings := trainSmall(t, Config{Rank: 8, Epochs: 30, LearnRate: 0.02, Reg: 0.005, Decay: 0.97, Seed: 2})
+	rmse := m.RMSE(ratings)
+	if rmse > 0.6 { // ratings live in [1,5]; a fit this loose means divergence
+		t.Errorf("training RMSE %.3f too high", rmse)
+	}
+}
+
+func TestFactorDimensions(t *testing.T) {
+	m, _ := trainSmall(t, Config{Rank: 5, Epochs: 2, LearnRate: 0.01, Seed: 3})
+	if m.Users.N() != 60 || m.Items.N() != 50 || m.Users.R() != 5 {
+		t.Errorf("factor dims %dx%d / %dx%d", m.Users.R(), m.Users.N(), m.Items.R(), m.Items.N())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ratings := []data.Rating{{User: 0, Item: 0, Value: 3}}
+	if _, err := Train(ratings, 1, 1, Config{Rank: 0, Epochs: 1, LearnRate: 0.1}); err == nil {
+		t.Error("Rank=0 accepted")
+	}
+	if _, err := Train(ratings, 1, 1, Config{Rank: 2, Epochs: 0, LearnRate: 0.1}); err == nil {
+		t.Error("Epochs=0 accepted")
+	}
+	if _, err := Train(ratings, 1, 1, Config{Rank: 2, Epochs: 1, LearnRate: 0}); err == nil {
+		t.Error("LearnRate=0 accepted")
+	}
+	bad := []data.Rating{{User: 5, Item: 0, Value: 3}}
+	if _, err := Train(bad, 1, 1, Config{Rank: 2, Epochs: 1, LearnRate: 0.1}); err == nil {
+		t.Error("out-of-range rating accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := Config{Rank: 4, Epochs: 3, LearnRate: 0.02, Reg: 0.01, Seed: 7}
+	a, _ := trainSmall(t, cfg)
+	b, _ := trainSmall(t, cfg)
+	for i, x := range a.Users.Data() {
+		if b.Users.Data()[i] != x {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestRMSEEmptyRatings(t *testing.T) {
+	m, _ := trainSmall(t, Config{Rank: 3, Epochs: 1, LearnRate: 0.01, Seed: 4})
+	if v := m.RMSE(nil); v != 0 {
+		t.Errorf("RMSE(nil)=%g", v)
+	}
+}

@@ -1,0 +1,69 @@
+// Package naive implements the paper's Naive baseline (§2): compute every
+// inner product of the full product matrix QᵀP and select the large entries
+// directly. Time complexity O(mnr); it exists as the correctness oracle and
+// as the baseline every experiment is normalized against.
+package naive
+
+import (
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// Stats reports the work done by a naive run. For Naive the candidate count
+// is always m·n: every probe vector is "verified" for every query.
+type Stats struct {
+	Queries    int
+	Candidates int64 // inner products computed
+	Results    int64
+}
+
+// AboveTheta emits every entry of QᵀP with value ≥ theta.
+func AboveTheta(q, p *matrix.Matrix, theta float64, emit retrieval.Sink) Stats {
+	st := Stats{Queries: q.N()}
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		for j := 0; j < p.N(); j++ {
+			st.Candidates++
+			v := vecmath.Dot(qi, p.Vec(j))
+			if v >= theta {
+				st.Results++
+				emit(retrieval.Entry{Query: i, Probe: j, Value: v})
+			}
+		}
+	}
+	return st
+}
+
+// RowTopK returns, for each query vector, the k probe vectors with the
+// largest inner products (fewer if P has fewer than k vectors), ordered by
+// decreasing value. Ties are broken arbitrarily.
+func RowTopK(q, p *matrix.Matrix, k int) (retrieval.TopK, Stats) {
+	st := Stats{Queries: q.N()}
+	out := make(retrieval.TopK, q.N())
+	if p.N() == 0 {
+		return out, st
+	}
+	kk := k
+	if kk > p.N() {
+		kk = p.N()
+	}
+	heap := topk.New(kk)
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		heap.Reset()
+		for j := 0; j < p.N(); j++ {
+			st.Candidates++
+			heap.Push(j, vecmath.Dot(qi, p.Vec(j)))
+		}
+		items := heap.Items()
+		row := make([]retrieval.Entry, len(items))
+		for t, it := range items {
+			row[t] = retrieval.Entry{Query: i, Probe: it.ID, Value: it.Value}
+		}
+		st.Results += int64(len(row))
+		out[i] = row
+	}
+	return out, st
+}

@@ -1,0 +1,87 @@
+package naive
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+)
+
+func TestAboveThetaSmall(t *testing.T) {
+	// The worked example from the paper's Fig. 1: entries of QᵀP > 3 are
+	// known.
+	q, _ := matrix.FromVectors([][]float64{
+		{3.2, -0.4}, {3.1, -0.2}, {0, 1.8}, {-0.4, 1.9},
+	})
+	p, _ := matrix.FromVectors([][]float64{
+		{1.6, 0.6}, {1.3, 0.8}, {0.7, 2.7}, {1, 2.8}, {0.4, 2.2},
+	})
+	var got []retrieval.Entry
+	st := AboveTheta(q, p, 3.0, retrieval.Collect(&got))
+	// Fig. 1b bold entries: (Adam,DieHard)=4.9 (Adam,Taken)=3.8
+	// (Bob,DieHard)=4.8 (Bob,Taken)=3.9 (Charlie,Twilight)=4.9
+	// (Charlie,Amelie)=5.0 (Charlie,Titanic)=4.0 (Dennis,Twilight)=4.9
+	// (Dennis,Amelie)=4.9 (Dennis,Titanic)=4.0.
+	if len(got) != 10 {
+		t.Fatalf("got %d entries, want 10: %v", len(got), got)
+	}
+	if st.Candidates != int64(q.N()*p.N()) {
+		t.Errorf("candidates %d, want m·n=%d", st.Candidates, q.N()*p.N())
+	}
+	for _, e := range got {
+		if want := q.Product(p, e.Query, e.Probe); math.Abs(want-e.Value) > 1e-12 {
+			t.Errorf("entry (%d,%d): %g vs %g", e.Query, e.Probe, e.Value, want)
+		}
+		if e.Value < 3.0 {
+			t.Errorf("entry below threshold: %+v", e)
+		}
+	}
+}
+
+func TestRowTopKOrderingAndBounds(t *testing.T) {
+	q, _ := matrix.FromVectors([][]float64{{1, 0}, {0, 1}})
+	p, _ := matrix.FromVectors([][]float64{{5, 0}, {4, 0}, {3, 0}, {0, 9}})
+	top, st := RowTopK(q, p, 2)
+	if len(top) != 2 {
+		t.Fatalf("%d rows", len(top))
+	}
+	if top[0][0].Probe != 0 || top[0][1].Probe != 1 {
+		t.Errorf("row 0: %+v", top[0])
+	}
+	if top[1][0].Probe != 3 {
+		t.Errorf("row 1: %+v", top[1])
+	}
+	if !sort.SliceIsSorted(top[0], func(a, b int) bool { return top[0][a].Value > top[0][b].Value }) {
+		t.Error("row not sorted by decreasing value")
+	}
+	if st.Results != 4 {
+		t.Errorf("results %d", st.Results)
+	}
+}
+
+func TestRowTopKWithKLargerThanN(t *testing.T) {
+	q, _ := matrix.FromVectors([][]float64{{1, 1}})
+	p, _ := matrix.FromVectors([][]float64{{1, 0}, {0, 1}})
+	top, _ := RowTopK(q, p, 10)
+	if len(top[0]) != 2 {
+		t.Fatalf("row has %d entries, want 2", len(top[0]))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	q := matrix.New(3, 0)
+	p := matrix.New(3, 4)
+	var got []retrieval.Entry
+	st := AboveTheta(q, p, 1, retrieval.Collect(&got))
+	if len(got) != 0 || st.Queries != 0 {
+		t.Error("empty query matrix misbehaves")
+	}
+	top, _ := RowTopK(matrix.New(3, 2), matrix.New(3, 0), 5)
+	for _, row := range top {
+		if len(row) != 0 {
+			t.Error("empty probe matrix yields entries")
+		}
+	}
+}

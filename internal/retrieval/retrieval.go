@@ -1,0 +1,76 @@
+// Package retrieval defines the result types shared by every large-entry
+// retrieval algorithm in this repository (the LEMP framework and all
+// standalone baselines), plus helpers for comparing result sets in tests.
+package retrieval
+
+import "sort"
+
+// Entry is one large entry of the product matrix QᵀP: the inner product of
+// query vector Query and probe vector Probe.
+type Entry struct {
+	Query int     // column index into Q (row of QᵀP)
+	Probe int     // column index into P (column of QᵀP)
+	Value float64 // the inner product
+}
+
+// Sink receives result entries as they are found. Implementations must not
+// retain the Entry beyond the call (it may be reused). Using a callback
+// instead of materializing slices matters: the paper retrieves up to 10⁷
+// entries per run.
+type Sink func(Entry)
+
+// Collect returns a Sink that appends into *dst.
+func Collect(dst *[]Entry) Sink {
+	return func(e Entry) { *dst = append(*dst, e) }
+}
+
+// Sort orders entries by (Query, Probe) ascending; Value is untouched. This
+// canonical order makes result sets comparable across algorithms.
+func Sort(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Query != entries[j].Query {
+			return entries[i].Query < entries[j].Query
+		}
+		return entries[i].Probe < entries[j].Probe
+	})
+}
+
+// SortByValue orders entries by decreasing Value, breaking ties by
+// (Query, Probe) ascending so the order is deterministic.
+func SortByValue(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		if entries[i].Query != entries[j].Query {
+			return entries[i].Query < entries[j].Query
+		}
+		return entries[i].Probe < entries[j].Probe
+	})
+}
+
+// TopK is the per-query result of a Row-Top-k retrieval: for each query
+// vector, up to k probe entries ordered by decreasing value.
+type TopK [][]Entry
+
+// EqualSets reports whether a and b contain the same (Query, Probe) pairs,
+// ignoring order and values. It is the equivalence used by cross-algorithm
+// tests for Above-θ results.
+func EqualSets(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	type pair struct{ q, p int }
+	seen := make(map[pair]int, len(a))
+	for _, e := range a {
+		seen[pair{e.Query, e.Probe}]++
+	}
+	for _, e := range b {
+		k := pair{e.Query, e.Probe}
+		seen[k]--
+		if seen[k] == 0 {
+			delete(seen, k)
+		}
+	}
+	return len(seen) == 0
+}

@@ -1,0 +1,79 @@
+package retrieval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCollect(t *testing.T) {
+	var out []Entry
+	sink := Collect(&out)
+	sink(Entry{1, 2, 3})
+	sink(Entry{4, 5, 6})
+	if len(out) != 2 || out[1].Probe != 5 {
+		t.Fatalf("collected %v", out)
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	es := []Entry{{2, 1, 0}, {1, 9, 0}, {1, 2, 0}, {2, 0, 0}}
+	Sort(es)
+	want := []Entry{{1, 2, 0}, {1, 9, 0}, {2, 0, 0}, {2, 1, 0}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("order %v", es)
+		}
+	}
+}
+
+func TestSortByValue(t *testing.T) {
+	es := []Entry{{1, 1, 5}, {0, 0, 9}, {2, 2, 5}, {3, 3, 1}}
+	SortByValue(es)
+	if es[0].Value != 9 || es[3].Value != 1 {
+		t.Fatalf("order %v", es)
+	}
+	// Equal values tie-break by (Query, Probe).
+	if es[1].Query != 1 || es[2].Query != 2 {
+		t.Fatalf("tie-break %v", es)
+	}
+}
+
+func TestEqualSets(t *testing.T) {
+	a := []Entry{{1, 2, 0.5}, {3, 4, 0.7}}
+	b := []Entry{{3, 4, 0.9}, {1, 2, 0.1}} // values ignored
+	if !EqualSets(a, b) {
+		t.Error("permuted sets not equal")
+	}
+	if EqualSets(a, a[:1]) {
+		t.Error("different sizes equal")
+	}
+	c := []Entry{{1, 2, 0}, {3, 5, 0}}
+	if EqualSets(a, c) {
+		t.Error("different pairs equal")
+	}
+	// Multiset semantics: duplicates must count.
+	d := []Entry{{1, 1, 0}, {1, 1, 0}}
+	e := []Entry{{1, 1, 0}, {2, 2, 0}}
+	if EqualSets(d, e) {
+		t.Error("multiset mismatch equal")
+	}
+	if !EqualSets(nil, nil) {
+		t.Error("empty sets not equal")
+	}
+}
+
+// Property: EqualSets is symmetric and invariant under permutation.
+func TestEqualSetsProperties(t *testing.T) {
+	perm := func(es []Entry) bool {
+		if len(es) < 2 {
+			return true
+		}
+		shuffled := make([]Entry, len(es))
+		copy(shuffled, es)
+		shuffled[0], shuffled[len(es)-1] = shuffled[len(es)-1], shuffled[0]
+		return EqualSets(es, shuffled) && EqualSets(shuffled, es)
+	}
+	if err := quick.Check(perm, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

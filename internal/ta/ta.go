@@ -1,0 +1,271 @@
+// Package ta implements Fagin et al.'s threshold algorithm (TA) adapted to
+// inner products, the paper's standalone TA baseline (§5, §6).
+//
+// TA arranges the values of each coordinate of the probe vectors in a
+// sorted list. Given a query q, it repeatedly selects the list f that
+// maximizes q_f·p_f at the list's current frontier (implemented with a
+// max-heap, as in the paper), retrieves the probe vector at the frontier,
+// immediately computes its full inner product (random access), and advances
+// the frontier. Lists with negative query coordinates are scanned
+// bottom-to-top. The scan stops when the frontier bound
+// Σ_f q_f·p_f(frontier_f) drops below the threshold (Above-θ) or below the
+// current k-th best value (Row-Top-k): no unseen vector can beat it.
+package ta
+
+import (
+	"sort"
+	"time"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+	"lemp/internal/topk"
+	"lemp/internal/vecmath"
+)
+
+// Index holds the per-coordinate sorted lists over a probe matrix.
+type Index struct {
+	probe *matrix.Matrix
+	r     int
+	n     int
+	// vals[f] and ids[f] are parallel arrays with the f-th coordinate of
+	// all probe vectors, sorted by decreasing value.
+	vals [][]float64
+	ids  [][]int32
+
+	prepTime time.Duration
+}
+
+// Stats reports the work done by a TA run.
+type Stats struct {
+	Queries    int
+	Candidates int64 // probe vectors whose full inner product was computed
+	Results    int64
+	PrepTime   time.Duration
+	Time       time.Duration // retrieval wall-clock time
+}
+
+// NewIndex builds the sorted lists for the probe matrix (the preprocessing
+// the paper times in Table 2).
+func NewIndex(p *matrix.Matrix) *Index {
+	start := time.Now()
+	r, n := p.R(), p.N()
+	ix := &Index{probe: p, r: r, n: n, vals: make([][]float64, r), ids: make([][]int32, r)}
+	perm := make([]int32, n)
+	for f := 0; f < r; f++ {
+		vals := make([]float64, n)
+		ids := make([]int32, n)
+		for j := 0; j < n; j++ {
+			perm[j] = int32(j)
+		}
+		sort.Slice(perm, func(a, b int) bool {
+			return p.Vec(int(perm[a]))[f] > p.Vec(int(perm[b]))[f]
+		})
+		for j, id := range perm {
+			ids[j] = id
+			vals[j] = p.Vec(int(id))[f]
+		}
+		ix.vals[f] = vals
+		ix.ids[f] = ids
+	}
+	ix.prepTime = time.Since(start)
+	return ix
+}
+
+// PrepTime returns the wall-clock time spent building the sorted lists.
+func (ix *Index) PrepTime() time.Duration { return ix.prepTime }
+
+// frontierHeap is a max-heap of per-list frontier contributions q_f·p_f.
+type frontierHeap struct {
+	list []frontier
+}
+
+type frontier struct {
+	contrib float64
+	coord   int32
+}
+
+func (h *frontierHeap) push(f frontier) {
+	h.list = append(h.list, f)
+	i := len(h.list) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.list[parent].contrib >= h.list[i].contrib {
+			break
+		}
+		h.list[parent], h.list[i] = h.list[i], h.list[parent]
+		i = parent
+	}
+}
+
+func (h *frontierHeap) pop() frontier {
+	top := h.list[0]
+	last := len(h.list) - 1
+	h.list[0] = h.list[last]
+	h.list = h.list[:last]
+	i, n := 0, len(h.list)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.list[l].contrib > h.list[largest].contrib {
+			largest = l
+		}
+		if r < n && h.list[r].contrib > h.list[largest].contrib {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.list[i], h.list[largest] = h.list[largest], h.list[i]
+		i = largest
+	}
+	return top
+}
+
+// scanState tracks one query's progress over the sorted lists.
+type scanState struct {
+	ix   *Index
+	q    []float64
+	pos  []int // frontier position per coordinate: next row to read
+	heap frontierHeap
+	ub   float64 // sum of frontier contributions of all active lists
+	seen []int32 // stamp array: query serial that last saw each probe
+	mark int32
+}
+
+func newScanState(ix *Index) *scanState {
+	return &scanState{ix: ix, pos: make([]int, ix.r), seen: make([]int32, ix.n)}
+}
+
+// start initializes the state for query q. It returns false if no list is
+// active (zero query or empty probe matrix).
+func (s *scanState) start(q []float64) bool {
+	s.q = q
+	s.mark++
+	s.heap.list = s.heap.list[:0]
+	s.ub = 0
+	if s.ix.n == 0 {
+		return false
+	}
+	active := false
+	for f := 0; f < s.ix.r; f++ {
+		if q[f] == 0 {
+			continue // contributes 0 at every frontier; never scan
+		}
+		if q[f] > 0 {
+			s.pos[f] = 0 // top-down
+		} else {
+			s.pos[f] = s.ix.n - 1 // bottom-up
+		}
+		c := q[f] * s.ix.vals[f][s.pos[f]]
+		s.heap.push(frontier{contrib: c, coord: int32(f)})
+		s.ub += c
+		active = true
+	}
+	return active
+}
+
+// next pops the most promising list, returns the probe id at its frontier
+// and whether it was first seen by this query, then advances the frontier.
+// done is true when some list is exhausted (every probe vector has been
+// seen) and the scan must stop.
+func (s *scanState) next() (id int32, fresh, done bool) {
+	fr := s.heap.pop()
+	f := int(fr.coord)
+	id = s.ix.ids[f][s.pos[f]]
+	fresh = s.seen[id] != s.mark
+	s.seen[id] = s.mark
+	if s.q[f] > 0 {
+		s.pos[f]++
+		if s.pos[f] >= s.ix.n {
+			return id, fresh, true
+		}
+	} else {
+		s.pos[f]--
+		if s.pos[f] < 0 {
+			return id, fresh, true
+		}
+	}
+	c := s.q[f] * s.ix.vals[f][s.pos[f]]
+	s.ub += c - fr.contrib
+	s.heap.push(frontier{contrib: c, coord: int32(f)})
+	return id, fresh, false
+}
+
+// AboveTheta emits all entries of QᵀP with value ≥ theta.
+func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink) Stats {
+	start := time.Now()
+	st := Stats{Queries: q.N(), PrepTime: ix.prepTime}
+	s := newScanState(ix)
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		if !s.start(qi) {
+			continue
+		}
+		for s.ub >= theta {
+			id, fresh, done := s.next()
+			if fresh {
+				st.Candidates++
+				v := vecmath.Dot(qi, ix.probe.Vec(int(id)))
+				if v >= theta {
+					st.Results++
+					emit(retrieval.Entry{Query: i, Probe: int(id), Value: v})
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	st.Time = time.Since(start)
+	return st
+}
+
+// RowTopK returns the k largest entries of each row of QᵀP.
+func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats) {
+	start := time.Now()
+	st := Stats{Queries: q.N(), PrepTime: ix.prepTime}
+	out := make(retrieval.TopK, q.N())
+	if ix.n == 0 {
+		st.Time = time.Since(start)
+		return out, st
+	}
+	kk := k
+	if kk > ix.n {
+		kk = ix.n
+	}
+	s := newScanState(ix)
+	heap := topk.New(kk)
+	for i := 0; i < q.N(); i++ {
+		qi := q.Vec(i)
+		heap.Reset()
+		if !s.start(qi) {
+			// Zero query: all products are 0; any k probes qualify.
+			for j := 0; j < kk; j++ {
+				heap.Push(j, 0)
+			}
+		} else {
+			for {
+				if thr, ok := heap.Threshold(); ok && s.ub < thr {
+					break
+				}
+				id, fresh, done := s.next()
+				if fresh {
+					st.Candidates++
+					heap.Push(int(id), vecmath.Dot(qi, ix.probe.Vec(int(id))))
+				}
+				if done {
+					break
+				}
+			}
+		}
+		items := heap.Items()
+		row := make([]retrieval.Entry, len(items))
+		for t, it := range items {
+			row[t] = retrieval.Entry{Query: i, Probe: it.ID, Value: it.Value}
+		}
+		st.Results += int64(len(row))
+		out[i] = row
+	}
+	st.Time = time.Since(start)
+	return out, st
+}

@@ -1,0 +1,179 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/naive"
+	"lemp/internal/retrieval"
+)
+
+func genMatrix(rng *rand.Rand, n, r int, sigma float64) *matrix.Matrix {
+	m := matrix.New(r, n)
+	for i := 0; i < n; i++ {
+		v := m.Vec(i)
+		var norm2 float64
+		for f := range v {
+			v[f] = rng.NormFloat64()
+			norm2 += v[f] * v[f]
+		}
+		scale := math.Exp(sigma * rng.NormFloat64())
+		if norm2 > 0 {
+			scale /= math.Sqrt(norm2)
+		}
+		for f := range v {
+			v[f] *= scale
+		}
+	}
+	return m
+}
+
+func safeTheta(q, p *matrix.Matrix, level int) (float64, bool) {
+	var vals []float64
+	for i := 0; i < q.N(); i++ {
+		for j := 0; j < p.N(); j++ {
+			vals = append(vals, q.Product(p, i, j))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	for d := 0; d < len(vals); d++ {
+		for _, lvl := range []int{level - d, level + d} {
+			if lvl < 1 || lvl >= len(vals) || vals[lvl-1] <= 0 {
+				continue
+			}
+			if vals[lvl-1]-vals[lvl] > 1e-7*(1+math.Abs(vals[lvl-1])) {
+				return (vals[lvl-1] + vals[lvl]) / 2, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestAboveThetaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		q := genMatrix(rng, 20+rng.Intn(30), 6, 0.8)
+		p := genMatrix(rng, 80+rng.Intn(150), 6, 0.8)
+		theta, ok := safeTheta(q, p, 30+rng.Intn(100))
+		if !ok {
+			continue
+		}
+		var want, got []retrieval.Entry
+		naive.AboveTheta(q, p, theta, retrieval.Collect(&want))
+		ix := NewIndex(p)
+		st := ix.AboveTheta(q, theta, retrieval.Collect(&got))
+		if !retrieval.EqualSets(got, want) {
+			t.Fatalf("trial %d: TA %d entries, naive %d (θ=%g)", trial, len(got), len(want), theta)
+		}
+		if st.Candidates < int64(len(want)) {
+			t.Errorf("candidates %d < results %d", st.Candidates, len(want))
+		}
+		if st.Candidates > int64(q.N())*int64(p.N()) {
+			t.Errorf("candidates %d exceed m·n", st.Candidates)
+		}
+	}
+}
+
+func TestRowTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, k := range []int{1, 4, 11, 999} {
+		q := genMatrix(rng, 25, 7, 1.0)
+		p := genMatrix(rng, 140, 7, 1.0)
+		want, _ := naive.RowTopK(q, p, k)
+		ix := NewIndex(p)
+		got, _ := ix.RowTopK(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d rows", k, len(got))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("k=%d row %d: %d entries, want %d", k, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				gv, wv := got[i][j].Value, want[i][j].Value
+				if math.Abs(gv-wv) > 1e-9*(1+math.Abs(wv)) {
+					t.Fatalf("k=%d row %d rank %d: %g vs %g", k, i, j, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestNegativeQueryCoordinatesScanBottomUp(t *testing.T) {
+	// A query with all-negative coordinates must still find the best
+	// probes (the most negative probe values give the largest products).
+	q, _ := matrix.FromVectors([][]float64{{-1, -2}})
+	p, _ := matrix.FromVectors([][]float64{{1, 1}, {-1, -1}, {-3, -4}, {0, 0}})
+	ix := NewIndex(p)
+	got, _ := ix.RowTopK(q, 1)
+	if got[0][0].Probe != 2 || got[0][0].Value != 11 {
+		t.Fatalf("top-1 = %+v, want probe 2 value 11", got[0][0])
+	}
+}
+
+func TestZeroQuery(t *testing.T) {
+	q, _ := matrix.FromVectors([][]float64{{0, 0}})
+	p, _ := matrix.FromVectors([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	ix := NewIndex(p)
+	var above []retrieval.Entry
+	ix.AboveTheta(q, 0.5, retrieval.Collect(&above))
+	if len(above) != 0 {
+		t.Errorf("zero query returned %d above-θ entries", len(above))
+	}
+	top, _ := ix.RowTopK(q, 2)
+	if len(top[0]) != 2 {
+		t.Fatalf("zero query top-k row: %v", top[0])
+	}
+	for _, e := range top[0] {
+		if e.Value != 0 {
+			t.Errorf("zero query product %g", e.Value)
+		}
+	}
+}
+
+func TestEmptyProbe(t *testing.T) {
+	q, _ := matrix.FromVectors([][]float64{{1, 2}})
+	ix := NewIndex(matrix.New(2, 0))
+	var above []retrieval.Entry
+	ix.AboveTheta(q, 0.5, retrieval.Collect(&above))
+	if len(above) != 0 {
+		t.Error("empty probe produced entries")
+	}
+	top, _ := ix.RowTopK(q, 3)
+	if len(top[0]) != 0 {
+		t.Error("empty probe produced top-k entries")
+	}
+}
+
+func TestPrepTimeRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := genMatrix(rng, 500, 10, 0.5)
+	ix := NewIndex(p)
+	if ix.PrepTime() <= 0 {
+		t.Error("prep time not recorded")
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	// With one extremely dominant probe vector and a high threshold, TA
+	// must verify far fewer candidates than n.
+	rng := rand.New(rand.NewSource(24))
+	p := genMatrix(rng, 2000, 8, 0.1)
+	big := p.Vec(0)
+	for f := range big {
+		big[f] = 100
+	}
+	q, _ := matrix.FromVectors([][]float64{{1, 1, 1, 1, 1, 1, 1, 1}})
+	ix := NewIndex(p)
+	var got []retrieval.Entry
+	st := ix.AboveTheta(q, 700, retrieval.Collect(&got))
+	if len(got) != 1 || got[0].Probe != 0 {
+		t.Fatalf("expected only the planted probe, got %v", got)
+	}
+	if st.Candidates > 100 {
+		t.Errorf("TA verified %d candidates; early termination failed", st.Candidates)
+	}
+}

@@ -1,0 +1,158 @@
+// Package lemp retrieves the large entries of a matrix product QᵀP without
+// computing the product, implementing the LEMP algorithm of Teflioudi,
+// Gemulla and Mykytiuk ("LEMP: Fast Retrieval of Large Entries in a Matrix
+// Product", SIGMOD 2015).
+//
+// Q (r×m) and P (r×n) are tall-and-skinny factor matrices — typically the
+// output of a low-rank factorization — whose columns are query and probe
+// vectors; entry (i,j) of QᵀP is the inner product of query i and probe j.
+// LEMP solves two problems exactly:
+//
+//   - Above-θ: all entries with value ≥ θ (Index.AboveTheta), and
+//   - Row-Top-k: the k largest entries of every row (Index.RowTopK).
+//
+// It groups probe vectors into cache-sized buckets of similar length,
+// prunes whole buckets with a per-query local threshold, and solves a small
+// cosine-similarity search problem per surviving bucket with a
+// bucket-algorithm selected at run time. See Options for the available
+// bucket algorithms (the default, LI, is the paper's overall winner).
+//
+// A minimal session:
+//
+//	probe, _ := lemp.MatrixFromVectors(itemFactors)
+//	index, _ := lemp.New(probe, lemp.Options{})
+//	query, _ := lemp.MatrixFromVectors(userFactors)
+//	top, _, _ := index.RowTopK(query, 10)
+package lemp
+
+import (
+	"time"
+
+	"lemp/internal/core"
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+)
+
+// Entry is one large entry of QᵀP: Value = (query column Query)ᵀ·(probe
+// column Probe).
+type Entry = retrieval.Entry
+
+// TopK holds a Row-Top-k result: TopK[i] lists query i's top entries by
+// decreasing value.
+type TopK = retrieval.TopK
+
+// Stats reports wall-clock phases and pruning effectiveness of a run.
+type Stats = core.Stats
+
+// Options configure an Index; the zero value selects the paper's defaults.
+type Options = core.Options
+
+// Algorithm selects the bucket-level retrieval method.
+type Algorithm = core.Algorithm
+
+// Bucket algorithms, named as in the paper's LEMP-X variants.
+const (
+	// AlgorithmLI mixes LENGTH and INCR (default; the paper's winner).
+	AlgorithmLI = core.AlgLI
+	// AlgorithmL is pure length-based pruning.
+	AlgorithmL = core.AlgL
+	// AlgorithmC is pure coordinate-based pruning.
+	AlgorithmC = core.AlgC
+	// AlgorithmI is pure incremental pruning.
+	AlgorithmI = core.AlgI
+	// AlgorithmLC mixes LENGTH and COORD.
+	AlgorithmLC = core.AlgLC
+	// AlgorithmTA runs the threshold algorithm per bucket.
+	AlgorithmTA = core.AlgTA
+	// AlgorithmTree runs a cover tree per bucket.
+	AlgorithmTree = core.AlgTree
+	// AlgorithmL2AP runs an L2AP index per bucket.
+	AlgorithmL2AP = core.AlgL2AP
+	// AlgorithmBLSH prunes with BayesLSH-Lite signatures (approximate:
+	// each true result is missed with probability ≤ Options.Epsilon).
+	AlgorithmBLSH = core.AlgBLSH
+)
+
+// ParseAlgorithm resolves a LEMP-X suffix such as "LI" or "l2ap".
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Index is a LEMP index over a probe matrix, ready to answer Above-θ and
+// Row-Top-k queries. Build one with New; it is safe for concurrent reads
+// only through a single retrieval call at a time (use Options.Parallelism
+// for intra-call parallelism).
+type Index struct {
+	inner *core.Index
+}
+
+// New preprocesses the probe matrix into a LEMP index (bucketization by
+// vector length; per-bucket search indexes are built lazily during
+// retrieval). The matrix must not be mutated while the index is in use.
+func New(probe *Matrix, opts Options) (*Index, error) {
+	inner, err := core.NewIndex(probe, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// N returns the number of indexed probe vectors.
+func (ix *Index) N() int { return ix.inner.N() }
+
+// R returns the vector dimension.
+func (ix *Index) R() int { return ix.inner.R() }
+
+// NumBuckets returns the number of probe buckets.
+func (ix *Index) NumBuckets() int { return ix.inner.NumBuckets() }
+
+// BucketInfo describes one probe bucket (size, length range, lazy-index and
+// tuning state).
+type BucketInfo = core.BucketInfo
+
+// Buckets reports per-bucket state in decreasing-length order; tuning
+// fields are meaningful after a retrieval call with a tuning algorithm.
+func (ix *Index) Buckets() []BucketInfo { return ix.inner.Buckets() }
+
+// PrepTime returns the preprocessing wall-clock time.
+func (ix *Index) PrepTime() time.Duration { return ix.inner.PrepTime() }
+
+// AboveTheta returns every entry of QᵀP with value ≥ theta (θ > 0), in
+// unspecified order. For very large result sets prefer AboveThetaFunc,
+// which streams entries without materializing them.
+func (ix *Index) AboveTheta(q *Matrix, theta float64) ([]Entry, Stats, error) {
+	var out []Entry
+	st, err := ix.inner.AboveTheta(q, theta, retrieval.Collect(&out))
+	return out, st, err
+}
+
+// AboveThetaFunc streams every entry of QᵀP with value ≥ theta to emit.
+// The Entry passed to emit must not be retained.
+func (ix *Index) AboveThetaFunc(q *Matrix, theta float64, emit func(Entry)) (Stats, error) {
+	return ix.inner.AboveTheta(q, theta, retrieval.Sink(emit))
+}
+
+// RowTopK returns, for every query vector, its k probe vectors with the
+// largest inner products, by decreasing value (fewer than k when the index
+// holds fewer probes). Ties are broken arbitrarily.
+func (ix *Index) RowTopK(q *Matrix, k int) (TopK, Stats, error) {
+	return ix.inner.RowTopK(q, k)
+}
+
+// ApproxOptions tune RowTopKApprox (cluster count, candidate expansion).
+type ApproxOptions = core.ApproxOptions
+
+// RowTopKApprox answers Row-Top-k approximately by clustering the queries
+// and retrieving exactly only for cluster centroids (the scheme of
+// Koenigstein et al. the paper cites as composable with LEMP). Values are
+// exact inner products, but some true top-k members may be missing; use
+// Recall to quantify quality against an exact run.
+func (ix *Index) RowTopKApprox(q *Matrix, k int, opts ApproxOptions) (TopK, Stats, error) {
+	return ix.inner.RowTopKApprox(q, k, opts)
+}
+
+// Recall returns the average fraction of exact top-k entries recovered by
+// an approximate run, per query.
+func Recall(exact, approx TopK) float64 { return core.Recall(exact, approx) }
+
+// Matrix is a tall-and-skinny factor matrix: n vectors of dimension r,
+// where vector j is the paper's column j.
+type Matrix = matrix.Matrix

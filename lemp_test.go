@@ -1,0 +1,199 @@
+package lemp_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lemp"
+)
+
+// fig1 returns the paper's running example (Fig. 1): user and movie factor
+// matrices whose product contains known entries.
+func fig1(t *testing.T) (q, p *lemp.Matrix) {
+	t.Helper()
+	q, err := lemp.MatrixFromVectors([][]float64{
+		{3.2, -0.4}, {3.1, -0.2}, {0, 1.8}, {-0.4, 1.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = lemp.MatrixFromVectors([][]float64{
+		{1.6, 0.6}, {1.3, 0.8}, {0.7, 2.7}, {1, 2.8}, {0.4, 2.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, p
+}
+
+func TestQuickstartAboveTheta(t *testing.T) {
+	q, p := fig1(t)
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, st, err := index.AboveTheta(q, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 { // the bold entries of Fig. 1b
+		t.Fatalf("got %d entries, want 10", len(entries))
+	}
+	if st.Results != 10 || st.Queries != 4 {
+		t.Errorf("stats %+v", st)
+	}
+	// Spot-check the largest: Charlie–Amelie = 1.8·2.8 = 5.04 (the paper's
+	// Fig. 1b prints it rounded to 5.0).
+	found := false
+	for _, e := range entries {
+		if e.Query == 2 && e.Probe == 3 {
+			found = true
+			if math.Abs(e.Value-5.04) > 1e-12 {
+				t.Errorf("Charlie-Amelie = %g, want 5.04", e.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing Charlie-Amelie entry")
+	}
+}
+
+func TestQuickstartRowTopK(t *testing.T) {
+	q, p := fig1(t)
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _, err := index.RowTopK(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1b: Adam→Die Hard, Bob→Die Hard, Charlie→Amelie, Dennis→Twilight(4.9)
+	wantProbe := []int{0, 0, 3, 3} // Dennis: Amelie 4.9 vs Twilight 4.9 tie? compute: Dennis=(-0.4,1.9): Twilight=0.7*-0.4+2.7*1.9=4.85; Amelie=-0.4+5.32=4.92 → Amelie.
+	for u, want := range wantProbe {
+		if top[u][0].Probe != want {
+			t.Errorf("user %d top-1 probe %d want %d (value %g)", u, top[u][0].Probe, want, top[u][0].Value)
+		}
+	}
+}
+
+func TestAboveThetaFuncStreams(t *testing.T) {
+	q, p := fig1(t)
+	index, _ := lemp.New(p, lemp.Options{})
+	var n int
+	st, err := index.AboveThetaFunc(q, 3.0, func(lemp.Entry) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || int(st.Results) != 10 {
+		t.Errorf("streamed %d entries, stats %d", n, st.Results)
+	}
+}
+
+func TestAllAlgorithmsThroughPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([][]float64, 500)
+	for i := range vecs {
+		v := make([]float64, 6)
+		for f := range v {
+			v[f] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	p, _ := lemp.MatrixFromVectors(vecs)
+	q, _ := lemp.MatrixFromVectors(vecs[:40])
+	reference, _, err := func() ([]lemp.Entry, lemp.Stats, error) {
+		ix, _ := lemp.New(p, lemp.Options{Algorithm: lemp.AlgorithmL})
+		return ix.AboveTheta(q, 4.0)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []lemp.Algorithm{
+		lemp.AlgorithmLI, lemp.AlgorithmLC, lemp.AlgorithmI, lemp.AlgorithmC,
+		lemp.AlgorithmTA, lemp.AlgorithmTree, lemp.AlgorithmL2AP,
+	} {
+		ix, err := lemp.New(p, lemp.Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("New(%v): %v", alg, err)
+		}
+		got, _, err := ix.AboveTheta(q, 4.0)
+		if err != nil {
+			t.Fatalf("AboveTheta(%v): %v", alg, err)
+		}
+		if len(got) != len(reference) {
+			t.Errorf("alg %v: %d entries, want %d", alg, len(got), len(reference))
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	a, err := lemp.ParseAlgorithm("li")
+	if err != nil || a != lemp.AlgorithmLI {
+		t.Errorf("ParseAlgorithm(li) = %v, %v", a, err)
+	}
+	if _, err := lemp.ParseAlgorithm("nope"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	_, p := fig1(t)
+	ix, _ := lemp.New(p, lemp.Options{})
+	if ix.N() != 5 || ix.R() != 2 {
+		t.Errorf("N=%d R=%d", ix.N(), ix.R())
+	}
+	if ix.NumBuckets() < 1 {
+		t.Errorf("buckets %d", ix.NumBuckets())
+	}
+	if ix.PrepTime() < 0 {
+		t.Errorf("prep time %v", ix.PrepTime())
+	}
+}
+
+func TestMatrixHelpersAndLoadMatrix(t *testing.T) {
+	m := lemp.NewMatrix(3, 2)
+	copy(m.Vec(0), []float64{1, 2, 3})
+	copy(m.Vec(1), []float64{4, 5, 6})
+
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "m.bin")
+	csvPath := filepath.Join(dir, "m.csv")
+
+	var bin bytes.Buffer
+	if err := lemp.WriteMatrix(&bin, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := lemp.WriteMatrixCSV(&csv, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csvPath, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{binPath, csvPath} {
+		got, err := lemp.LoadMatrix(path)
+		if err != nil {
+			t.Fatalf("LoadMatrix(%s): %v", path, err)
+		}
+		if got.N() != 2 || got.R() != 3 || got.Vec(1)[2] != 6 {
+			t.Errorf("%s: wrong contents", path)
+		}
+	}
+
+	if _, err := lemp.MatrixFromData(2, 2, []float64{1, 2, 3}); err == nil {
+		t.Error("bad FromData accepted")
+	}
+	rt, err := lemp.ReadMatrix(&bin)
+	if err == nil && rt.N() != 2 {
+		t.Error("ReadMatrix after drain should fail or be empty")
+	}
+}
