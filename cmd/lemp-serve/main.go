@@ -1,0 +1,134 @@
+// Command lemp-serve runs a long-lived LEMP query server: it loads (or
+// synthesizes) a probe matrix, shards it across independent LEMP indexes,
+// and answers Row-Top-k and Above-θ queries over HTTP, micro-batching
+// concurrent requests into single whole-matrix retrieval calls.
+//
+// Usage:
+//
+//	lemp-serve -p items.p -shards 4                       # serve a matrix file
+//	lemp-serve -profile Smoke -addr :9000 -batch-window 2ms
+//
+// Endpoints:
+//
+//	POST /v1/topk    {"queries": [[...], ...], "k": 10}
+//	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
+//	GET  /healthz    liveness + index shape
+//	GET  /stats      server counters and cumulative retrieval stats
+//
+// Retrieval uses all CPU cores by default: each shard runs with
+// Options.Parallelism = NumCPU/shards, so one dispatched batch fanning out
+// across every shard saturates the machine without oversubscribing it
+// (override with -parallel; the paper's measurements are single-threaded,
+// but a server owns its machine).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lemp"
+	"lemp/internal/data"
+	"lemp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pPath := flag.String("p", "", "probe matrix file (columns of P as vectors)")
+	profileName := flag.String("profile", "", "synthesize the probe side of a dataset profile instead of loading -p (e.g. Smoke, Netflix)")
+	shards := flag.Int("shards", 4, "number of index shards")
+	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
+	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
+	parallel := flag.Int("parallel", 0, "retrieval goroutines per shard (0 = NumCPU/shards, so one batch uses all cores)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long requests wait to coalesce (0 disables batching)")
+	batchMax := flag.Int("batch-max", 256, "maximum query rows per combined batch")
+	cacheEntries := flag.Int("cache", 65536, "result-cache capacity in result entries (0 or negative disables)")
+	flag.Parse()
+
+	if (*pPath == "") == (*profileName == "") {
+		fail("specify exactly one of -p or -profile")
+	}
+	alg, err := lemp.ParseAlgorithm(*algName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var probe *lemp.Matrix
+	if *pPath != "" {
+		probe, err = lemp.LoadMatrix(*pPath)
+		if err != nil {
+			fail("loading %s: %v", *pPath, err)
+		}
+	} else {
+		profile, err := data.ByName(*profileName)
+		if err != nil {
+			fail("%v", err)
+		}
+		log.Printf("synthesizing probe matrix of %s (%d vectors, dim %d)", profile.Name, profile.N, profile.R)
+		_, probe = profile.Generate()
+	}
+
+	if *cacheEntries == 0 {
+		// On the CLI, 0 naturally reads as "no cache"; the Config zero
+		// value means "default" per the library convention.
+		*cacheEntries = -1
+	}
+	srv, err := server.New(probe, server.Config{
+		Shards:       *shards,
+		Options:      lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
+		BatchWindow:  *batchWindow,
+		BatchMax:     *batchMax,
+		CacheEntries: *cacheEntries,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	par := "auto (NumCPU/shards)"
+	if *parallel > 0 {
+		par = fmt.Sprint(*parallel)
+	}
+	cache := "disabled"
+	if *cacheEntries > 0 {
+		cache = fmt.Sprintf("%d entries", *cacheEntries)
+	}
+	log.Printf("serving %d probes (dim %d) in %d shards on %s (batch window %v, max %d, cache %s, parallelism %s)",
+		probe.N(), probe.R(), *shards, *addr, *batchWindow, *batchMax, cache, par)
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound slow/idle clients; no WriteTimeout so large legitimate
+		// result sets can stream out.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	err = httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		fail("%v", err)
+	}
+	// Shutdown closed the listener; wait until in-flight requests drain.
+	<-drained
+	log.Print("shut down")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lemp-serve: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -4,7 +4,9 @@
 //
 // Matrices are read with format auto-detection (the library's LEMPMAT1
 // binary format or CSV, one vector per line); generate inputs with
-// lemp-datagen or bring your own factors.
+// lemp-datagen or bring your own factors. Retrieval fans out over all CPU
+// cores by default; pass -parallel 1 to reproduce the paper's
+// single-threaded measurements.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 
 	"lemp"
@@ -30,7 +33,7 @@ func main() {
 	topk := flag.Int("topk", 0, "Row-Top-k: number of results per query; mutually exclusive with -theta")
 	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
 	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
-	parallel := flag.Int("parallel", 1, "retrieval goroutines")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "retrieval goroutines (default all cores; use -parallel 1 for the paper's single-threaded setting)")
 	approx := flag.Int("approx", 0, "approximate -topk via this many query clusters (0 = exact)")
 	outPath := flag.String("out", "", "write results as CSV (query,probe,value); default stdout")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")

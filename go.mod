@@ -1,0 +1,3 @@
+module lemp
+
+go 1.24

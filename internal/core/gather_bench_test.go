@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -89,5 +90,5 @@ func BenchmarkVerification(b *testing.B) {
 			acc += vecmath.Dot(qdir, bk.dir(int(lid)))
 		}
 	}
-	verifySink = acc
+	verifySink.Store(math.Float64bits(acc))
 }

@@ -30,6 +30,32 @@ type Stats struct {
 	RetrievalTime time.Duration // the retrieval phase itself
 }
 
+// Add accumulates another run's stats into s: work counters and the
+// per-call phase times (tuning, retrieval) sum, while Buckets,
+// IndexedBuckets and PrepTime take the maximum — they describe index
+// state, not per-run work (every call re-reports the same one-time
+// preprocessing cost, so summing PrepTime would multiply it by the call
+// count). Long-lived servers use this to expose cumulative stats across
+// many retrieval calls.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.Candidates += o.Candidates
+	s.Results += o.Results
+	s.ProcessedPairs += o.ProcessedPairs
+	s.PrunedPairs += o.PrunedPairs
+	if o.Buckets > s.Buckets {
+		s.Buckets = o.Buckets
+	}
+	if o.IndexedBuckets > s.IndexedBuckets {
+		s.IndexedBuckets = o.IndexedBuckets
+	}
+	if o.PrepTime > s.PrepTime {
+		s.PrepTime = o.PrepTime
+	}
+	s.TuneTime += o.TuneTime
+	s.RetrievalTime += o.RetrievalTime
+}
+
 // TotalTime returns preprocessing + tuning + retrieval, the paper's
 // "total wall-clock time" (Figs. 5–7, Tables 3–6).
 func (s Stats) TotalTime() time.Duration {

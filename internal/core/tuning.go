@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"lemp/internal/topk"
@@ -138,7 +139,7 @@ func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64,
 			for _, lid := range s.cand {
 				acc += vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
 			}
-			verifySink = acc // defeat dead-code elimination
+			verifySink.Store(math.Float64bits(acc)) // defeat dead-code elimination
 		}
 		if byCost {
 			return float64(s.work)
@@ -164,8 +165,9 @@ func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64,
 }
 
 // verifySink absorbs verification results during tuning so the compiler
-// cannot elide the measured inner products.
-var verifySink float64
+// cannot elide the measured inner products. It is atomic because distinct
+// indexes (e.g. server shards) may tune concurrently.
+var verifySink atomic.Uint64
 
 // tunePhis returns the φ values the tuner tries: all of 1..MaxPhi when φ is
 // tuned, or just the fixed value.

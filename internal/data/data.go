@@ -60,6 +60,11 @@ var (
 	// KDD mimics the Yahoo! Music factorization: the largest dataset,
 	// lowest length skew.
 	KDD = Profile{Name: "KDD", R: 50, M: 10000, N: 6200, CoVQ: 0.38, CoVP: 0.40, Sparsity: 1, NonNeg: false, Seed: 104}
+
+	// Smoke is not a paper dataset: it is a fixture sized for server smoke
+	// tests and CI — indexes in milliseconds yet skewed enough to exercise
+	// bucket pruning and keep several shards non-trivial.
+	Smoke = Profile{Name: "Smoke", R: 16, M: 256, N: 800, CoVQ: 0.8, CoVP: 1.2, Sparsity: 1, NonNeg: false, Seed: 105}
 )
 
 // Profiles lists the four paper datasets in Table 1 order.
@@ -68,7 +73,7 @@ func Profiles() []Profile { return []Profile{IENMF, IESVD, Netflix, KDD} }
 // ByName returns the profile with the given name (case-sensitive, matching
 // the Name field, with "T" suffix selecting the transpose, e.g. "IE-NMFT").
 func ByName(name string) (Profile, error) {
-	for _, p := range Profiles() {
+	for _, p := range append(Profiles(), Smoke) {
 		if p.Name == name {
 			return p, nil
 		}

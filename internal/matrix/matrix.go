@@ -94,6 +94,15 @@ func (m *Matrix) Head(n int) *Matrix {
 	return &Matrix{r: m.r, data: m.data[:n*m.r]}
 }
 
+// Slice returns a matrix aliasing vectors [i, j) of m. Shards of a probe
+// matrix share storage with the original.
+func (m *Matrix) Slice(i, j int) *Matrix {
+	if i < 0 || j < i || j > m.N() {
+		panic(fmt.Sprintf("matrix: Slice [%d,%d) out of range [0,%d)", i, j, m.N()))
+	}
+	return &Matrix{r: m.r, data: m.data[i*m.r : j*m.r : j*m.r]}
+}
+
 // Lengths returns the Euclidean norms of all vectors.
 func (m *Matrix) Lengths() []float64 {
 	out := make([]float64, m.N())

@@ -205,3 +205,30 @@ func TestLengthPercentile(t *testing.T) {
 		t.Errorf("empty percentile %g", v)
 	}
 }
+
+func TestSlice(t *testing.T) {
+	m := New(2, 5)
+	for i := 0; i < 5; i++ {
+		m.Vec(i)[0] = float64(i)
+	}
+	s := m.Slice(1, 4)
+	if s.R() != 2 || s.N() != 3 {
+		t.Fatalf("R=%d N=%d", s.R(), s.N())
+	}
+	if s.Vec(0)[0] != 1 || s.Vec(2)[0] != 3 {
+		t.Errorf("contents: %v", s.Data())
+	}
+	s.Vec(0)[1] = 42
+	if m.Vec(1)[1] != 42 {
+		t.Errorf("Slice should alias the parent storage")
+	}
+	if got := m.Slice(2, 2).N(); got != 0 {
+		t.Errorf("empty slice N=%d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range Slice should panic")
+		}
+	}()
+	m.Slice(3, 6)
+}

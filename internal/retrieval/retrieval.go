@@ -1,9 +1,13 @@
 // Package retrieval defines the result types shared by every large-entry
 // retrieval algorithm in this repository (the LEMP framework and all
-// standalone baselines), plus helpers for comparing result sets in tests.
+// standalone baselines), plus helpers for merging results across index
+// shards and comparing result sets in tests.
 package retrieval
 
-import "sort"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Entry is one large entry of the product matrix QᵀP: the inner product of
 // query vector Query and probe vector Probe.
@@ -52,6 +56,75 @@ func SortByValue(entries []Entry) {
 // TopK is the per-query result of a Row-Top-k retrieval: for each query
 // vector, up to k probe entries ordered by decreasing value.
 type TopK [][]Entry
+
+// mergeHeap orders the heads of per-shard rows by decreasing value, with
+// ties broken by ascending probe id so merges are deterministic.
+type mergeHeap []mergeCursor
+
+type mergeCursor struct {
+	row []Entry // remaining entries of one shard's row, sorted desc
+}
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].row[0], h[j].row[0]
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Probe < b.Probe
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// MergeTopK k-way-merges per-shard Row-Top-k results into a global one.
+// Each part must hold the same number of rows (one per query), each row
+// sorted by decreasing value as returned by RowTopK; the merged row i is
+// the k largest entries across all parts' rows i, again by decreasing
+// value. Probe ids are taken as-is — remap shard-local ids to global ones
+// before merging.
+func MergeTopK(k int, parts ...TopK) TopK {
+	if len(parts) == 0 {
+		return nil
+	}
+	rows := 0
+	for _, p := range parts {
+		if len(p) > rows {
+			rows = len(p)
+		}
+	}
+	out := make(TopK, rows)
+	h := make(mergeHeap, 0, len(parts))
+	for i := 0; i < rows; i++ {
+		h = h[:0]
+		for _, p := range parts {
+			if i < len(p) && len(p[i]) > 0 {
+				h = append(h, mergeCursor{row: p[i]})
+			}
+		}
+		heap.Init(&h)
+		// Cap the allocation by what the parts can actually supply, so an
+		// oversized k cannot size the buffer off untrusted input.
+		capacity := 0
+		for _, c := range h {
+			capacity += len(c.row)
+		}
+		if capacity > k {
+			capacity = k
+		}
+		row := make([]Entry, 0, capacity)
+		for len(row) < k && h.Len() > 0 {
+			row = append(row, h[0].row[0])
+			if h[0].row = h[0].row[1:]; len(h[0].row) == 0 {
+				heap.Pop(&h)
+			} else {
+				heap.Fix(&h, 0)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
 
 // EqualSets reports whether a and b contain the same (Query, Probe) pairs,
 // ignoring order and values. It is the equivalence used by cross-algorithm

@@ -77,3 +77,54 @@ func TestEqualSetsProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMergeTopK(t *testing.T) {
+	// Two shards' rows for two queries, each sorted by decreasing value.
+	a := TopK{
+		{{0, 0, 9}, {0, 1, 5}, {0, 2, 1}},
+		{{1, 0, 2}},
+	}
+	b := TopK{
+		{{0, 10, 7}, {0, 11, 6}},
+		{{1, 12, 8}, {1, 13, 4}},
+	}
+	got := MergeTopK(3, a, b)
+	want := TopK{
+		{{0, 0, 9}, {0, 10, 7}, {0, 11, 6}},
+		{{1, 12, 8}, {1, 13, 4}, {1, 0, 2}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d: %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeTopKEdgeCases(t *testing.T) {
+	if got := MergeTopK(3); got != nil {
+		t.Fatalf("no parts: %v", got)
+	}
+	// Empty rows and short parts are tolerated.
+	got := MergeTopK(2, TopK{{}, {{1, 4, 2}}}, TopK{{{0, 7, 3}}})
+	if len(got) != 2 || len(got[0]) != 1 || got[0][0].Probe != 7 || len(got[1]) != 1 {
+		t.Fatalf("mixed shapes: %v", got)
+	}
+	// A short (even empty) first part must not drop later parts' rows.
+	got = MergeTopK(2, TopK{}, TopK{{{0, 7, 3}}})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0].Probe != 7 {
+		t.Fatalf("short first part: %v", got)
+	}
+	// Ties merge deterministically by ascending probe id.
+	tie := MergeTopK(2, TopK{{{0, 5, 1}}}, TopK{{{0, 3, 1}}})
+	if tie[0][0].Probe != 3 || tie[0][1].Probe != 5 {
+		t.Fatalf("tie order: %v", tie[0])
+	}
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"lemp"
+)
+
+// Batcher coalesces concurrent retrieval requests into whole-matrix calls.
+// LEMP's drivers are batch-oriented — RowTopK and AboveTheta take a query
+// *matrix* — so serving one HTTP request per retrieval call wastes the
+// amortization the paper's design invites. The batcher holds each incoming
+// request for at most Window, merging every request with identical
+// parameters (same k, or same θ) that arrives meanwhile into one query
+// matrix; the combined batch is dispatched as a single sharded retrieval
+// and the per-query result rows are scattered back to the waiting callers.
+//
+// A batch is dispatched when it reaches MaxBatch rows or when Window
+// elapses after its first request, whichever comes first. Window <= 0 or
+// MaxBatch <= 1 disables coalescing: every request dispatches immediately.
+type Batcher struct {
+	sharded *Sharded
+	window  time.Duration
+	max     int
+
+	// onDispatch, if set, observes every dispatched batch: the number of
+	// query rows and the number of coalesced requests it served.
+	onDispatch func(rows, requests int)
+
+	mu      sync.Mutex
+	forming map[batchKey]*formingBatch
+}
+
+// batchKey identifies requests that can share one retrieval call: the
+// problem kind plus its parameter. Rows of a query matrix share one k or θ.
+type batchKey struct {
+	topk  bool
+	k     int
+	theta float64
+}
+
+// formingBatch is a batch still accepting rows.
+type formingBatch struct {
+	key     batchKey
+	data    []float64 // concatenated query vectors
+	rows    int
+	waiters []*waiter
+	timer   *time.Timer
+	fired   bool // dispatched (by size or timer); no longer accepting rows
+}
+
+// waiter is one caller's slice of a forming batch: rows [off, off+n).
+type waiter struct {
+	off, n int
+	done   chan batchResult
+}
+
+// batchResult carries one caller's per-query result rows. Entry.Query is
+// rewritten to the caller's own row numbering; probe ids are global.
+type batchResult struct {
+	rows [][]lemp.Entry
+	err  error
+}
+
+// NewBatcher wraps a sharded index with request coalescing.
+func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
+	return &Batcher{
+		sharded: sh,
+		window:  window,
+		max:     maxBatch,
+		forming: make(map[batchKey]*formingBatch),
+	}
+}
+
+// TopK submits one request's query rows (concatenated vectors of dimension
+// R) for Row-Top-k retrieval and blocks until its batch completes. The
+// returned rows parallel the submitted queries.
+func (b *Batcher) TopK(data []float64, rows, k int) ([][]lemp.Entry, error) {
+	return b.submit(batchKey{topk: true, k: k}, data, rows)
+}
+
+// AboveTheta submits one request's query rows for Above-θ retrieval and
+// blocks until its batch completes.
+func (b *Batcher) AboveTheta(data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
+	return b.submit(batchKey{theta: theta}, data, rows)
+}
+
+func (b *Batcher) submit(key batchKey, data []float64, rows int) ([][]lemp.Entry, error) {
+	if rows == 0 {
+		return nil, nil
+	}
+	if b.window <= 0 || b.max <= 1 {
+		res := b.retrieve(key, data, rows, 1)
+		return res.rows, res.err
+	}
+
+	b.mu.Lock()
+	fb := b.forming[key]
+	if fb == nil || fb.fired || fb.rows+rows > b.max {
+		// Start a new batch. An oversized or displaced predecessor keeps
+		// running; it simply stops being the forming batch for this key.
+		if fb != nil && !fb.fired {
+			b.fire(fb)
+		}
+		fb = &formingBatch{key: key}
+		fb.timer = time.AfterFunc(b.window, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.fire(fb)
+		})
+		b.forming[key] = fb
+	}
+	w := &waiter{off: fb.rows, n: rows, done: make(chan batchResult, 1)}
+	fb.data = append(fb.data, data...)
+	fb.rows += rows
+	fb.waiters = append(fb.waiters, w)
+	if fb.rows >= b.max {
+		b.fire(fb)
+	}
+	b.mu.Unlock()
+
+	res := <-w.done
+	return res.rows, res.err
+}
+
+// fire dispatches fb on its own goroutine. Callers must hold b.mu.
+func (b *Batcher) fire(fb *formingBatch) {
+	if fb.fired {
+		return
+	}
+	fb.fired = true
+	fb.timer.Stop()
+	if b.forming[fb.key] == fb {
+		delete(b.forming, fb.key)
+	}
+	go b.dispatch(fb)
+}
+
+// dispatch runs the combined retrieval and scatters rows to the waiters.
+func (b *Batcher) dispatch(fb *formingBatch) {
+	res := b.retrieve(fb.key, fb.data, fb.rows, len(fb.waiters))
+	for _, w := range fb.waiters {
+		if res.err != nil {
+			w.done <- batchResult{err: res.err}
+			continue
+		}
+		rows := res.rows[w.off : w.off+w.n]
+		for i, row := range rows {
+			for j := range row {
+				row[j].Query = i
+			}
+		}
+		w.done <- batchResult{rows: rows}
+	}
+}
+
+// retrieve performs one sharded retrieval over a batch of rows.
+func (b *Batcher) retrieve(key batchKey, data []float64, rows, requests int) batchResult {
+	q, err := lemp.MatrixFromData(b.sharded.R(), rows, data)
+	if err != nil {
+		return batchResult{err: err}
+	}
+	if b.onDispatch != nil {
+		b.onDispatch(rows, requests)
+	}
+	if key.topk {
+		top, _, err := b.sharded.TopK(q, key.k)
+		if err != nil {
+			return batchResult{err: err}
+		}
+		return batchResult{rows: top}
+	}
+	out, _, err := b.sharded.AboveTheta(q, key.theta)
+	if err != nil {
+		return batchResult{err: err}
+	}
+	return batchResult{rows: out}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+// benchSharded builds a larger sharded index so per-call overhead and
+// retrieval work are both visible.
+func benchSharded(b *testing.B) (*Sharded, *lemp.Matrix) {
+	b.Helper()
+	profile := data.Smoke.Scale(4)
+	q, p := profile.Generate()
+	sh, err := NewSharded(p, testShards, lemp.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Force lazy index builds and tuning out of the measured region.
+	if _, _, err := sh.TopK(q.Head(64), benchK); err != nil {
+		b.Fatal(err)
+	}
+	return sh, q
+}
+
+const benchK = 10
+
+// runDispatchBench drives concurrent single-query clients through a
+// batcher. With a zero window the batcher degenerates to one retrieval
+// call per request — the baseline the batched configuration must beat.
+func runDispatchBench(b *testing.B, window time.Duration, maxBatch int) {
+	sh, q := benchSharded(b)
+	batcher := NewBatcher(sh, window, maxBatch)
+	n := q.N()
+	var i atomic.Int64
+	// Many more in-flight clients than cores: the regime batching targets.
+	// Per-call costs (sample-based tuning, scratch setup, shard fan-out)
+	// then amortize across the coalesced batch.
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			row := int(i.Add(1)) % n
+			if _, err := batcher.TopK(q.Vec(row), 1, benchK); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkDispatchPerRequest issues one sharded retrieval call per query.
+func BenchmarkDispatchPerRequest(b *testing.B) {
+	runDispatchBench(b, 0, 1)
+}
+
+// BenchmarkDispatchBatched coalesces concurrent queries into combined
+// retrieval calls (1 ms window, up to 256 rows per batch).
+func BenchmarkDispatchBatched(b *testing.B) {
+	runDispatchBench(b, time.Millisecond, 256)
+}

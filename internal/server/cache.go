@@ -1,0 +1,159 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"lemp"
+)
+
+// Cache is an LRU map from (query vector, retrieval parameters) to that
+// query's result row. Keys embed the full vector bytes, so hits are exact —
+// no hash collisions — and two queries differing only in k or θ never
+// alias. Cached rows carry global probe ids; the Query field is stale for
+// later requests, so consumers must use only Probe and Value.
+//
+// Capacity is counted in result entries, not rows: Above-θ rows can hold
+// up to N entries each, so a row-count bound would let a few low-θ queries
+// pin unbounded memory. An empty row still costs 1 so it remains evictable.
+// When sizing the capacity, note that each cached row also stores its
+// 17+8R-byte key (plus list/map overhead) beyond the counted entries —
+// significant when most rows are small and R is large.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int        // max total entry weight
+	entries int        // current total entry weight
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheItem struct {
+	key string
+	row []lemp.Entry
+}
+
+// weight is the capacity cost of one cached row.
+func weight(row []lemp.Entry) int {
+	if len(row) == 0 {
+		return 1
+	}
+	return len(row)
+}
+
+// NewCache returns an LRU cache holding up to capacity result entries;
+// capacity <= 0 returns nil, which disables caching (a nil *Cache never
+// hits).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// cacheKey encodes one query row and its parameters as an exact byte key.
+func cacheKey(key batchKey, vec []float64) string {
+	b := make([]byte, 0, 17+8*len(vec))
+	if key.topk {
+		b = append(b, 'k')
+		b = binary.LittleEndian.AppendUint64(b, uint64(key.k))
+	} else {
+		b = append(b, 't')
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(key.theta))
+	}
+	for _, x := range vec {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return string(b)
+}
+
+// Get returns the cached row for k (and whether it was present), promoting
+// it to most recently used.
+func (c *Cache) Get(k string) ([]lemp.Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).row, true
+}
+
+// Put stores a result row, evicting least recently used rows until the
+// total entry weight fits; a single row heavier than the whole capacity is
+// not cached at all. The row is stored as-is; callers must not mutate it
+// afterwards.
+func (c *Cache) Put(k string, row []lemp.Entry) {
+	if c == nil {
+		return
+	}
+	w := weight(row)
+	if w > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		item := el.Value.(*cacheItem)
+		c.entries += w - weight(item.row)
+		item.row = row
+	} else {
+		c.items[k] = c.ll.PushFront(&cacheItem{key: k, row: row})
+		c.entries += w
+	}
+	for c.entries > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		item := last.Value.(*cacheItem)
+		c.entries -= weight(item.row)
+		delete(c.items, item.key)
+	}
+}
+
+// Len returns the number of cached rows.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Entries returns the total entry weight currently cached.
+func (c *Cache) Entries() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries
+}
+
+// Hits reports cumulative lookups served from cache.
+func (c *Cache) Hits() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses reports cumulative lookups that found nothing.
+func (c *Cache) Misses() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+
+	"lemp"
+)
+
+func row(n int) []lemp.Entry { return make([]lemp.Entry, n) }
+
+// TestCacheEntryBound checks that capacity is enforced on total entries —
+// the bound that matters for Above-θ rows — not on row count.
+func TestCacheEntryBound(t *testing.T) {
+	c := NewCache(10)
+	c.Put("a", row(6))
+	if c.Entries() != 6 || c.Len() != 1 {
+		t.Fatalf("entries=%d rows=%d", c.Entries(), c.Len())
+	}
+	c.Put("b", row(6)) // 12 > 10: evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should be cached")
+	}
+	if c.Entries() != 6 {
+		t.Fatalf("entries=%d after eviction, want 6", c.Entries())
+	}
+
+	// A row heavier than the whole capacity is never cached.
+	c.Put("huge", row(11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized row should not be cached")
+	}
+
+	// Empty rows cost 1 so they stay evictable.
+	c.Put("empty", nil)
+	if c.Entries() != 7 {
+		t.Fatalf("entries=%d with empty row, want 7", c.Entries())
+	}
+	if got, ok := c.Get("empty"); !ok || len(got) != 0 {
+		t.Fatalf("empty row lookup: %v, %v", got, ok)
+	}
+
+	// Replacing a row adjusts the weight delta.
+	c.Put("b", row(2))
+	if c.Entries() != 3 {
+		t.Fatalf("entries=%d after replacement, want 3", c.Entries())
+	}
+
+	// A nil cache (disabled) never hits and never panics.
+	var nilCache *Cache
+	nilCache.Put("x", row(1))
+	if _, ok := nilCache.Get("x"); ok {
+		t.Fatal("nil cache should not hit")
+	}
+}

@@ -1,0 +1,359 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lemp"
+)
+
+// Config sizes a Server. The zero value is usable: it means 1 shard, no
+// batching window, a modest cache, a bounded request-body size, and
+// library-default retrieval options except Parallelism, which defaults to
+// using all cores across the shard fan-out (a server owns the machine,
+// unlike the paper's single-threaded measurements).
+type Config struct {
+	// Shards is the number of index shards (default 1).
+	Shards int
+	// Options configure each shard's index. Options.Parallelism == 0 is
+	// replaced by runtime.NumCPU()/Shards (at least 1), so one dispatched
+	// batch fanning out across all shards uses about all cores — not
+	// Shards× of them. Set Parallelism explicitly to override.
+	Options lemp.Options
+	// BatchWindow is how long a request waits for others to coalesce with
+	// (default 0: no batching). 1–5 ms trades a little latency for a large
+	// throughput win under concurrent load.
+	BatchWindow time.Duration
+	// BatchMax caps the number of query rows per combined batch
+	// (default 256).
+	BatchMax int
+	// CacheEntries is the LRU result-cache capacity in result entries
+	// (default 65536; negative disables caching). Entries, not rows: an
+	// Above-θ row can hold up to N entries, so a row bound would not
+	// bound memory. Each cached row also stores its 17+8R-byte key beyond
+	// the counted entries; size the capacity with that overhead in mind.
+	CacheEntries int
+	// MaxBodyBytes caps the request body size (default 32 MiB; negative
+	// disables the limit). A long-lived server must not let one client
+	// buffer arbitrary JSON into memory.
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Options.Parallelism == 0 {
+		c.Options.Parallelism = runtime.NumCPU() / c.Shards
+		if c.Options.Parallelism < 1 {
+			c.Options.Parallelism = 1
+		}
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 65536
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server answers LEMP retrieval queries over HTTP:
+//
+//	POST /v1/topk    {"queries": [[...], ...], "k": 10}
+//	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
+//	GET  /healthz
+//	GET  /stats
+//
+// Responses list one result row per submitted query, each row an array of
+// {"probe", "value"} objects (global probe ids; top-k rows by decreasing
+// value, Above-θ rows by ascending probe id).
+type Server struct {
+	cfg     Config
+	sharded *Sharded
+	batcher *Batcher
+	cache   *Cache
+	start   time.Time
+
+	requests  atomic.Uint64 // retrieval requests accepted
+	batches   atomic.Uint64 // retrieval calls dispatched
+	batchRows atomic.Uint64 // query rows across all dispatched calls
+}
+
+// New builds a server over the probe matrix: cfg.Shards indexes over
+// contiguous probe ranges behind a micro-batcher and a result cache.
+func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	sharded, err := NewSharded(probe, cfg.Shards, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		sharded: sharded,
+		batcher: NewBatcher(sharded, cfg.BatchWindow, cfg.BatchMax),
+		cache:   NewCache(cfg.CacheEntries),
+		start:   time.Now(),
+	}
+	s.batcher.onDispatch = func(rows, _ int) {
+		s.batches.Add(1)
+		s.batchRows.Add(uint64(rows))
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/above", s.handleAbove)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// topKRequest is the body of POST /v1/topk.
+type topKRequest struct {
+	Queries [][]float64 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+// aboveRequest is the body of POST /v1/above.
+type aboveRequest struct {
+	Queries [][]float64 `json:"queries"`
+	Theta   float64     `json:"theta"`
+}
+
+// resultEntry is one retrieved entry: probe id and inner-product value.
+type resultEntry struct {
+	Probe int     `json:"probe"`
+	Value float64 `json:"value"`
+}
+
+// queryResponse lists one result row per submitted query.
+type queryResponse struct {
+	Results [][]resultEntry `json:"results"`
+}
+
+// decodeBody decodes the JSON request body into req under the configured
+// size limit, writing the error response itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, req any) bool {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topKRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.K < 1 {
+		httpError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	// A row can never hold more than N entries; clamping here keeps huge k
+	// values from sizing merge buffers (and cache keys) off user input.
+	if n := s.sharded.N(); req.K > n {
+		req.K = n
+	}
+	s.serve(w, batchKey{topk: true, k: req.K}, req.Queries)
+}
+
+func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
+	var req aboveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Theta <= 0 {
+		httpError(w, http.StatusBadRequest, "theta must be > 0, got %v", req.Theta)
+		return
+	}
+	s.serve(w, batchKey{theta: req.Theta}, req.Queries)
+}
+
+// serve answers one retrieval request: cached rows are returned directly,
+// the remaining rows go through the batcher as one submission, and fresh
+// results are inserted into the cache.
+func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64) {
+	r := s.sharded.R()
+	for i, q := range queries {
+		if len(q) != r {
+			httpError(w, http.StatusBadRequest, "query %d has dimension %d, want %d", i, len(q), r)
+			return
+		}
+	}
+	s.requests.Add(1)
+
+	// Split rows into cache hits and misses; misses form one submission.
+	rows := make([][]lemp.Entry, len(queries))
+	var (
+		keys     []string
+		missData []float64
+		missIdx  []int
+	)
+	if s.cache != nil {
+		keys = make([]string, len(queries))
+	}
+	for i, q := range queries {
+		if s.cache != nil {
+			keys[i] = cacheKey(key, q)
+			if row, ok := s.cache.Get(keys[i]); ok {
+				rows[i] = row
+				continue
+			}
+		}
+		missData = append(missData, q...)
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		var (
+			fresh [][]lemp.Entry
+			err   error
+		)
+		if key.topk {
+			fresh, err = s.batcher.TopK(missData, len(missIdx), key.k)
+		} else {
+			fresh, err = s.batcher.AboveTheta(missData, len(missIdx), key.theta)
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "retrieval: %v", err)
+			return
+		}
+		for j, i := range missIdx {
+			rows[i] = fresh[j]
+			if s.cache != nil {
+				s.cache.Put(keys[i], fresh[j])
+			}
+		}
+	}
+
+	resp := queryResponse{Results: make([][]resultEntry, len(rows))}
+	for i, row := range rows {
+		out := make([]resultEntry, len(row))
+		for j, e := range row {
+			out[j] = resultEntry{Probe: e.Probe, Value: e.Value}
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, resp)
+}
+
+// healthzResponse is the body of GET /healthz.
+type healthzResponse struct {
+	Status string `json:"status"`
+	Probes int    `json:"probes"`
+	Shards int    `json:"shards"`
+	Dim    int    `json:"dim"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, healthzResponse{
+		Status: "ok",
+		Probes: s.sharded.N(),
+		Shards: s.sharded.NumShards(),
+		Dim:    s.sharded.R(),
+	})
+}
+
+// statsResponse is the body of GET /stats: server counters plus the
+// cumulative core retrieval stats across all shards and batches.
+type statsResponse struct {
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Requests      uint64    `json:"requests"`
+	Batches       uint64    `json:"batches"`
+	BatchRows     uint64    `json:"batch_rows"`
+	AvgBatchRows  float64   `json:"avg_batch_rows"`
+	Cache         cacheInfo `json:"cache"`
+	Core          coreStats `json:"core"`
+}
+
+type cacheInfo struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Rows    int    `json:"rows"`
+	Entries int    `json:"entries"`
+}
+
+// coreStats mirrors lemp.Stats with JSON names and float seconds.
+type coreStats struct {
+	Queries          int     `json:"queries"`
+	Buckets          int     `json:"buckets"`
+	IndexedBuckets   int     `json:"indexed_buckets"`
+	Candidates       int64   `json:"candidates"`
+	Results          int64   `json:"results"`
+	ProcessedPairs   int64   `json:"processed_pairs"`
+	PrunedPairs      int64   `json:"pruned_pairs"`
+	PrepSeconds      float64 `json:"prep_seconds"`
+	TuneSeconds      float64 `json:"tune_seconds"`
+	RetrievalSeconds float64 `json:"retrieval_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sharded.CumulativeStats()
+	batches := s.batches.Load()
+	rows := s.batchRows.Load()
+	avg := 0.0
+	if batches > 0 {
+		avg = float64(rows) / float64(batches)
+	}
+	writeJSON(w, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Batches:       batches,
+		BatchRows:     rows,
+		AvgBatchRows:  avg,
+		Cache:         cacheInfo{Hits: s.cache.Hits(), Misses: s.cache.Misses(), Rows: s.cache.Len(), Entries: s.cache.Entries()},
+		Core: coreStats{
+			Queries:          st.Queries,
+			Buckets:          st.Buckets,
+			IndexedBuckets:   st.IndexedBuckets,
+			Candidates:       st.Candidates,
+			Results:          st.Results,
+			ProcessedPairs:   st.ProcessedPairs,
+			PrunedPairs:      st.PrunedPairs,
+			PrepSeconds:      st.PrepTime.Seconds(),
+			TuneSeconds:      st.TuneTime.Seconds(),
+			RetrievalSeconds: st.RetrievalTime.Seconds(),
+		},
+	})
+}
+
+// writeJSON marshals before writing so an encoding failure (e.g. a ±Inf
+// value from an overflowing inner product) becomes a clean 500 instead of
+// a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,186 @@
+// Package server turns the lemp library into a long-lived query service:
+// it shards a probe matrix across independent LEMP indexes, micro-batches
+// concurrent HTTP requests into whole-matrix retrieval calls (the batch
+// interface RowTopK/AboveTheta already expose), caches per-query results,
+// and reports cumulative retrieval statistics.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"lemp"
+)
+
+// Sharded partitions a probe matrix into S contiguous shards, each backed
+// by its own lemp.Index, and answers whole-batch retrievals by fanning the
+// query matrix across all shards concurrently and merging per-shard
+// results: a k-way heap merge for Row-Top-k, concatenation for Above-θ.
+// Shard-local probe ids are remapped to global ids before merging, so
+// callers see the same id space as a single unsharded index.
+//
+// Each shard serializes its own retrieval calls (lemp.Index supports only
+// one call at a time), so Sharded is safe for concurrent use.
+type Sharded struct {
+	shards []*shard
+	r      int
+	n      int
+
+	mu  sync.Mutex
+	cum lemp.Stats // cumulative stats across all retrieval calls
+}
+
+// shard is one contiguous probe range [base, base+index.N()) with its own
+// index and the mutex that serializes retrieval calls on it.
+type shard struct {
+	mu    sync.Mutex
+	index *lemp.Index
+	base  int
+}
+
+// NewSharded builds nShards LEMP indexes over contiguous slices of probe
+// (sharing its storage). Every shard receives the same options; shards
+// differ in size by at most one probe.
+func NewSharded(probe *lemp.Matrix, nShards int, opts lemp.Options) (*Sharded, error) {
+	n := probe.N()
+	if nShards < 1 {
+		return nil, fmt.Errorf("server: shard count %d must be positive", nShards)
+	}
+	if nShards > n {
+		nShards = n
+	}
+	if nShards == 0 {
+		return nil, fmt.Errorf("server: probe matrix is empty")
+	}
+	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards)}
+	for i := range s.shards {
+		// Split [0,n) into nShards near-equal contiguous ranges.
+		lo, hi := i*n/nShards, (i+1)*n/nShards
+		ix, err := lemp.New(probe.Slice(lo, hi), opts)
+		if err != nil {
+			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{index: ix, base: lo}
+	}
+	return s, nil
+}
+
+// N returns the total number of probes across all shards.
+func (s *Sharded) N() int { return s.n }
+
+// R returns the vector dimension.
+func (s *Sharded) R() int { return s.r }
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// CumulativeStats returns the accumulated core stats of every retrieval
+// call (all shards, all batches) since construction.
+func (s *Sharded) CumulativeStats() lemp.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cum
+}
+
+// addShardStats merges one shard's per-call stats into the whole-call
+// total, with two deviations from Stats.Add. Shards are distinct indexes,
+// so the index-state values — Buckets, IndexedBuckets, the one-time
+// PrepTime — sum across them where Add takes the max (across repeated
+// calls those sums stay constant or grow monotonically, so Add's max keeps
+// them correct at the cumulative level). And every shard saw the same
+// logical queries, so Queries takes the max where Add sums (max rather
+// than any-one-shard so an erroring shard reporting 0 cannot skew it).
+func addShardStats(dst *lemp.Stats, st lemp.Stats) {
+	buckets, indexed := dst.Buckets+st.Buckets, dst.IndexedBuckets+st.IndexedBuckets
+	prep := dst.PrepTime + st.PrepTime
+	queries := dst.Queries
+	if st.Queries > queries {
+		queries = st.Queries
+	}
+	dst.Add(st)
+	dst.Buckets, dst.IndexedBuckets, dst.PrepTime = buckets, indexed, prep
+	dst.Queries = queries
+}
+
+// fanOut runs fn on every shard concurrently and accumulates the per-shard
+// stats; it returns the first error encountered.
+func (s *Sharded) fanOut(fn func(i int, sh *shard) (lemp.Stats, error)) (lemp.Stats, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		call  lemp.Stats
+		first error
+	)
+	wg.Add(len(s.shards))
+	for i, sh := range s.shards {
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			st, err := fn(i, sh)
+			sh.mu.Unlock()
+			mu.Lock()
+			addShardStats(&call, st)
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	s.cum.Add(call)
+	s.mu.Unlock()
+	return call, first
+}
+
+// TopK answers Row-Top-k for a whole query matrix across all shards and
+// merges per-shard rows into global top-k rows (probe ids are global).
+func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
+	parts := make([]lemp.TopK, len(s.shards))
+	st, err := s.fanOut(func(i int, sh *shard) (lemp.Stats, error) {
+		top, stats, err := sh.index.RowTopK(q, k)
+		if err != nil {
+			return stats, err
+		}
+		for _, row := range top {
+			for j := range row {
+				row[j].Probe += sh.base
+			}
+		}
+		parts[i] = top
+		return stats, nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return lemp.MergeTopK(k, parts...), st, nil
+}
+
+// AboveTheta answers Above-θ for a whole query matrix across all shards,
+// concatenating per-shard result sets. Entries are returned grouped by
+// query in rows (row i holds query i's entries) in canonical (Query, Probe)
+// order, the grouping batching and caching work in.
+func (s *Sharded) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+	rows := make([][]lemp.Entry, q.N())
+	var mu sync.Mutex
+	st, err := s.fanOut(func(_ int, sh *shard) (lemp.Stats, error) {
+		ents, stats, err := sh.index.AboveTheta(q, theta)
+		if err != nil {
+			return stats, err
+		}
+		mu.Lock()
+		for _, e := range ents {
+			e.Probe += sh.base
+			rows[e.Query] = append(rows[e.Query], e)
+		}
+		mu.Unlock()
+		return stats, nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	for _, row := range rows {
+		lemp.SortEntries(row)
+	}
+	return rows, st, nil
+}

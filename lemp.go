@@ -153,6 +153,17 @@ func (ix *Index) RowTopKApprox(q *Matrix, k int, opts ApproxOptions) (TopK, Stat
 // an approximate run, per query.
 func Recall(exact, approx TopK) float64 { return core.Recall(exact, approx) }
 
+// MergeTopK k-way-merges Row-Top-k results obtained from disjoint shards of
+// one probe matrix into a single global result. Each part must hold one row
+// per query (sorted by decreasing value, as RowTopK returns them) with probe
+// ids already remapped to the global id space; merged rows keep the k
+// largest entries overall. It is the merge step used by sharded serving.
+func MergeTopK(k int, parts ...TopK) TopK { return retrieval.MergeTopK(k, parts...) }
+
+// SortEntries orders entries canonically by (Query, Probe) ascending, the
+// deterministic order used when emitting Above-θ result sets.
+func SortEntries(entries []Entry) { retrieval.Sort(entries) }
+
 // Matrix is a tall-and-skinny factor matrix: n vectors of dimension r,
 // where vector j is the paper's column j.
 type Matrix = matrix.Matrix
