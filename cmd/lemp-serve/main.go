@@ -7,6 +7,14 @@
 //
 //	lemp-serve -p items.p -shards 4                       # serve a matrix file
 //	lemp-serve -profile Smoke -addr :9000 -batch-window 2ms
+//	lemp-serve -profile Smoke -save-snapshot idx          # build once, persist
+//	lemp-serve -snapshot idx                              # restart in O(read)
+//
+// Snapshots: -save-snapshot writes one LEMPIDX1 file per shard (path for a
+// single shard, path.0 … path.N-1 otherwise) after pretuning each shard, so
+// a later -snapshot startup skips bucketization and tuning entirely.
+// -snapshot restores that layout; pass -shards to re-shard a single-file
+// snapshot from its embedded probe matrix (which re-pays index build).
 //
 // Endpoints:
 //
@@ -26,10 +34,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,6 +52,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pPath := flag.String("p", "", "probe matrix file (columns of P as vectors)")
 	profileName := flag.String("profile", "", "synthesize the probe side of a dataset profile instead of loading -p (e.g. Smoke, Netflix)")
+	snapshotPath := flag.String("snapshot", "", "restore shard indexes from LEMPIDX1 snapshots (path, or path.0..path.N-1 as written by -save-snapshot) instead of building them")
+	saveSnapshot := flag.String("save-snapshot", "", "after building, pretune and write one snapshot per shard (path for 1 shard, else path.0..path.N-1), then serve")
 	shards := flag.Int("shards", 4, "number of index shards")
 	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
 	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
@@ -49,46 +61,64 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long requests wait to coalesce (0 disables batching)")
 	batchMax := flag.Int("batch-max", 256, "maximum query rows per combined batch")
 	cacheEntries := flag.Int("cache", 65536, "result-cache capacity in result entries (0 or negative disables)")
+	pretuneK := flag.Int("pretune-k", 10, "k used by -save-snapshot's pretuning pass")
 	flag.Parse()
 
-	if (*pPath == "") == (*profileName == "") {
-		fail("specify exactly one of -p or -profile")
+	sources := 0
+	for _, set := range []bool{*pPath != "", *profileName != "", *snapshotPath != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fail("specify exactly one of -p, -profile or -snapshot")
 	}
 	alg, err := lemp.ParseAlgorithm(*algName)
 	if err != nil {
 		fail("%v", err)
 	}
-
-	var probe *lemp.Matrix
-	if *pPath != "" {
-		probe, err = lemp.LoadMatrix(*pPath)
-		if err != nil {
-			fail("loading %s: %v", *pPath, err)
-		}
-	} else {
-		profile, err := data.ByName(*profileName)
-		if err != nil {
-			fail("%v", err)
-		}
-		log.Printf("synthesizing probe matrix of %s (%d vectors, dim %d)", profile.Name, profile.N, profile.R)
-		_, probe = profile.Generate()
-	}
-
 	if *cacheEntries == 0 {
 		// On the CLI, 0 naturally reads as "no cache"; the Config zero
 		// value means "default" per the library convention.
 		*cacheEntries = -1
 	}
-	srv, err := server.New(probe, server.Config{
+	cfg := server.Config{
 		Shards:       *shards,
 		Options:      lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
 		BatchWindow:  *batchWindow,
 		BatchMax:     *batchMax,
 		CacheEntries: *cacheEntries,
-	})
-	if err != nil {
-		fail("%v", err)
 	}
+
+	var srv *server.Server
+	if *snapshotPath != "" {
+		srv = loadSnapshots(*snapshotPath, *shards, shardsFlagSet(), cfg)
+	} else {
+		var probe *lemp.Matrix
+		if *pPath != "" {
+			probe, err = lemp.LoadMatrix(*pPath)
+			if err != nil {
+				fail("loading %s: %v", *pPath, err)
+			}
+		} else {
+			profile, err := data.ByName(*profileName)
+			if err != nil {
+				fail("%v", err)
+			}
+			log.Printf("synthesizing probe matrix of %s (%d vectors, dim %d)", profile.Name, profile.N, profile.R)
+			_, probe = profile.Generate()
+		}
+		srv, err = server.New(probe, cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *saveSnapshot != "" {
+		saveSnapshots(srv, *saveSnapshot, *pretuneK)
+	}
+
+	probes, dim := srv.Sharded().N(), srv.Sharded().R()
 	par := "auto (NumCPU/shards)"
 	if *parallel > 0 {
 		par = fmt.Sprint(*parallel)
@@ -98,7 +128,7 @@ func main() {
 		cache = fmt.Sprintf("%d entries", *cacheEntries)
 	}
 	log.Printf("serving %d probes (dim %d) in %d shards on %s (batch window %v, max %d, cache %s, parallelism %s)",
-		probe.N(), probe.R(), *shards, *addr, *batchWindow, *batchMax, cache, par)
+		probes, dim, srv.Sharded().NumShards(), *addr, *batchWindow, *batchMax, cache, par)
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -126,6 +156,208 @@ func main() {
 	// Shutdown closed the listener; wait until in-flight requests drain.
 	<-drained
 	log.Print("shut down")
+}
+
+// shardsFlagSet reports whether -shards was given explicitly (as opposed to
+// resting at its default), which decides whether a snapshot restore honors
+// the snapshot's own shard count or re-shards.
+func shardsFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			set = true
+		}
+	})
+	return set
+}
+
+// snapshotFiles resolves the file set behind -snapshot path: the file
+// itself, or the path.0..path.N-1 series written for a multi-shard server.
+// A bare file and a numbered series together are ambiguous (a stale
+// snapshot from a save with a different shard count) and fail loudly
+// rather than silently picking one.
+func snapshotFiles(path string) []string {
+	_, bareErr := os.Stat(path)
+	var files []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s.%d", path, i)
+		if _, err := os.Stat(name); err != nil {
+			break
+		}
+		files = append(files, name)
+	}
+	if bareErr == nil && len(files) > 0 {
+		fail("both %s and %s.0 exist; remove the stale one (saves with different -shards leave both forms behind)", path, path)
+	}
+	if bareErr == nil {
+		return []string{path}
+	}
+	if len(files) == 0 {
+		fail("no snapshot at %s (or %s.0...)", path, path)
+	}
+	return files
+}
+
+// loadSnapshots restores a server from snapshot files. When -shards was
+// given and disagrees with the snapshot count, a single snapshot is
+// re-sharded from its embedded probe matrix — which re-pays index build and
+// is logged as such.
+func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *server.Server {
+	files := snapshotFiles(path)
+	start := time.Now()
+	if shardsSet && shards != len(files) {
+		if len(files) != 1 {
+			fail("-shards %d conflicts with %d shard snapshots; re-sharding needs a single snapshot", shards, len(files))
+		}
+		f, err := os.Open(files[0])
+		if err != nil {
+			fail("%v", err)
+		}
+		ix, err := lemp.LoadIndex(f, lemp.LoadOptions{})
+		f.Close()
+		if err != nil {
+			fail("loading %s: %v", files[0], err)
+		}
+		log.Printf("re-sharding %s (%d probes) into %d shards: rebuilding indexes from the embedded probe matrix", files[0], ix.N(), shards)
+		srv, err := server.New(ix.Probe(), cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		return srv
+	}
+	readers := make([]io.Reader, len(files))
+	handles := make([]*os.File, len(files))
+	for i, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			fail("%v", err)
+		}
+		handles[i] = f
+		readers[i] = f
+	}
+	srv, err := server.NewFromSnapshot(readers, cfg)
+	for _, f := range handles {
+		f.Close()
+	}
+	if err != nil {
+		fail("restoring snapshots: %v", err)
+	}
+	log.Printf("restored %d shards from %s in %v (bucketization and tuning skipped)", len(files), path, time.Since(start).Round(time.Millisecond))
+	return srv
+}
+
+// saveSnapshots pretunes every shard on a sample of its own probes, then
+// writes one snapshot file per shard (atomically, via rename). Pretuning
+// freezes the fitted per-bucket parameters into the snapshots, so a later
+// -snapshot restart serves with zero tuning time.
+func saveSnapshots(srv *server.Server, path string, k int) {
+	start := time.Now()
+	ixs := srv.Sharded().Indexes()
+	for i, ix := range ixs {
+		if err := ix.PretuneTopK(pretuneSample(ix.Probe()), k); err != nil {
+			fail("pretuning shard %d: %v", i, err)
+		}
+	}
+	err := srv.WriteSnapshots(func(i, n int) (io.WriteCloser, error) {
+		name := path
+		if n > 1 {
+			name = fmt.Sprintf("%s.%d", path, i)
+		}
+		return newAtomicFile(name)
+	})
+	if err != nil {
+		fail("saving snapshots: %v", err)
+	}
+	removeStaleSnapshots(path, len(ixs))
+	log.Printf("pretuned and saved %d shard snapshots to %s in %v", len(ixs), path, time.Since(start).Round(time.Millisecond))
+}
+
+// removeStaleSnapshots deletes leftover files of the same snapshot family
+// that a previous save with a different shard count left behind: without
+// this, a later -snapshot restart would glob them in and silently assemble
+// extra shards of duplicated probes (or prefer a stale single-file snapshot
+// over the fresh numbered set).
+func removeStaleSnapshots(path string, n int) {
+	stale := func(name string) {
+		if _, err := os.Stat(name); err != nil {
+			return
+		}
+		if err := os.Remove(name); err != nil {
+			fail("removing stale snapshot %s: %v", name, err)
+		}
+		log.Printf("removed stale snapshot %s (previous save used a different shard count)", name)
+	}
+	if n > 1 {
+		stale(path) // a single-file snapshot would shadow the numbered set
+	}
+	start := n
+	if n == 1 {
+		start = 0 // the fresh snapshot is the bare path; every .i is stale
+	}
+	for i := start; ; i++ {
+		name := fmt.Sprintf("%s.%d", path, i)
+		if _, err := os.Stat(name); err != nil {
+			break
+		}
+		if err := os.Remove(name); err != nil {
+			fail("removing stale snapshot %s: %v", name, err)
+		}
+		log.Printf("removed stale snapshot %s (previous save used a different shard count)", name)
+	}
+}
+
+// pretuneSample spreads up to 256 probe vectors of m into a query sample
+// for pretuning (the self-join workload the paper uses for its IE
+// datasets).
+func pretuneSample(m *lemp.Matrix) *lemp.Matrix {
+	const want = 256
+	n := m.N()
+	if n <= want {
+		return m
+	}
+	sample := lemp.NewMatrix(m.R(), want)
+	for i := 0; i < want; i++ {
+		copy(sample.Vec(i), m.Vec(i*n/want))
+	}
+	return sample
+}
+
+// atomicFile writes through a temporary file renamed into place on Close,
+// so a crash mid-write never leaves a truncated snapshot behind. Abort
+// discards the temp file without renaming; WriteSnapshots calls it when a
+// write fails partway, so a failed save never replaces an existing good
+// snapshot with a truncated one.
+type atomicFile struct {
+	f    *os.File
+	name string
+}
+
+func newAtomicFile(name string) (*atomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(name), filepath.Base(name)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFile{f: f, name: name}, nil
+}
+
+func (a *atomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+func (a *atomicFile) Abort() error {
+	a.f.Close()
+	return os.Remove(a.f.Name())
+}
+
+func (a *atomicFile) Close() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.name)
 }
 
 func fail(format string, args ...any) {

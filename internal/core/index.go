@@ -22,9 +22,15 @@ type Index struct {
 	opts      Options
 	r         int
 	n         int
+	probe     *matrix.Matrix // the matrix the index was built over (for snapshots)
 	buckets   []*bucket
 	maxBucket int
 	prepTime  time.Duration
+
+	// pretuned freezes per-call tuning: retrieval reuses the stored
+	// per-bucket (t_b, φ_b) instead of re-fitting them on every call. Set
+	// by the Pretune methods and restored by FromState.
+	pretuned bool
 
 	lshOnce sync.Once
 	hasher  *lsh.Hasher
@@ -51,7 +57,7 @@ func NewIndex(p *matrix.Matrix, opts Options) (*Index, error) {
 			maxSize = opts.MinBucketSize
 		}
 	}
-	ix := &Index{opts: opts, r: p.R(), n: p.N()}
+	ix := &Index{opts: opts, r: p.R(), n: p.N(), probe: p}
 	ix.buckets = bucketize(p, opts.ShrinkFactor, opts.MinBucketSize, maxSize)
 	for _, b := range ix.buckets {
 		if b.size() > ix.maxBucket {

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lemp/internal/matrix"
+)
+
+// State is the serializable snapshot of an Index: the probe matrix, the
+// effective options, and the bucketization (§3.2) with any tuned per-bucket
+// parameters (§4.4). It is the contract between core and internal/snapshot:
+// Index.State exports it, FromState rebuilds an index from it without
+// re-running bucketization or tuning.
+//
+// The slices returned by Index.State alias the index's internal storage —
+// they may be read (serialized) but must not be mutated.
+type State struct {
+	Opts     Options
+	Probe    *matrix.Matrix
+	Pretuned bool // per-call tuning is frozen (Index.PretuneTopK et al.)
+	Buckets  []BucketState
+}
+
+// BucketState is the serializable state of one probe bucket: the sorted
+// membership (§3.2) and the tuned algorithm-selection parameters (§4.4).
+// Lazily built per-bucket indexes (sorted lists, trees, …) are not part of
+// the state; they are rebuilt lazily after a restore.
+type BucketState struct {
+	IDs   []int32   // original probe column numbers, by decreasing length
+	Lens  []float64 // vector lengths, decreasing
+	Dirs  []float64 // normalized vectors, contiguous (len(IDs) × r)
+	Tuned bool
+	TB    float64
+	Phi   int
+}
+
+// State exports the index's serializable state. The contained slices alias
+// index storage and must not be mutated; retrieval calls must not run
+// concurrently with serialization (tuning rewrites bucket parameters).
+func (ix *Index) State() *State {
+	st := &State{
+		Opts:     ix.opts,
+		Probe:    ix.probe,
+		Pretuned: ix.pretuned,
+		Buckets:  make([]BucketState, len(ix.buckets)),
+	}
+	for i, b := range ix.buckets {
+		st.Buckets[i] = BucketState{
+			IDs:   b.ids,
+			Lens:  b.lens,
+			Dirs:  b.dirs,
+			Tuned: b.tuned,
+			TB:    b.tb,
+			Phi:   b.phi,
+		}
+	}
+	return st
+}
+
+// Probe returns the probe matrix the index was built over (or restored
+// with). It aliases index state and must not be mutated.
+func (ix *Index) Probe() *matrix.Matrix { return ix.probe }
+
+// Pretuned reports whether per-call tuning is frozen: the index reuses its
+// stored per-bucket parameters instead of re-tuning on every retrieval.
+func (ix *Index) Pretuned() bool { return ix.pretuned }
+
+// FromState rebuilds an index from an exported state, skipping the
+// bucketization and tuning phases — the whole point of snapshot restore:
+// startup cost is O(read) instead of O(index). The state is validated
+// structurally (every invariant retrieval relies on) so a corrupt or
+// hand-edited snapshot fails loudly here instead of serving wrong results.
+// The state's slices are adopted, not copied; the caller must not reuse
+// them.
+func FromState(st *State) (*Index, error) {
+	start := time.Now()
+	opts := st.Opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if st.Probe == nil {
+		return nil, fmt.Errorf("core: state has no probe matrix")
+	}
+	r, n := st.Probe.R(), st.Probe.N()
+	ix := &Index{opts: opts, r: r, n: n, probe: st.Probe, pretuned: st.Pretuned}
+	ix.buckets = make([]*bucket, len(st.Buckets))
+	seen := make([]bool, n)
+	total := 0
+	prevLen := math.Inf(1)
+	for i, bs := range st.Buckets {
+		size := len(bs.IDs)
+		if size == 0 {
+			return nil, fmt.Errorf("core: bucket %d is empty", i)
+		}
+		if len(bs.Lens) != size || len(bs.Dirs) != size*r {
+			return nil, fmt.Errorf("core: bucket %d shape mismatch: %d ids, %d lens, %d dirs (r=%d)",
+				i, size, len(bs.Lens), len(bs.Dirs), r)
+		}
+		total += size
+		if total > n {
+			return nil, fmt.Errorf("core: buckets hold more than %d probes", n)
+		}
+		for j, id := range bs.IDs {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("core: bucket %d id %d out of range [0,%d)", i, id, n)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("core: probe id %d appears twice", id)
+			}
+			seen[id] = true
+			l := bs.Lens[j]
+			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+				return nil, fmt.Errorf("core: bucket %d length %d is %v", i, j, l)
+			}
+			if l > prevLen {
+				return nil, fmt.Errorf("core: lengths not in decreasing order at bucket %d entry %d", i, j)
+			}
+			prevLen = l
+		}
+		for j, d := range bs.Dirs {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, fmt.Errorf("core: bucket %d direction value %d is %v", i, j, d)
+			}
+		}
+		if bs.Tuned && (math.IsNaN(bs.TB) || bs.Phi < 1) {
+			return nil, fmt.Errorf("core: bucket %d tuned parameters invalid (tb=%v, phi=%d)", i, bs.TB, bs.Phi)
+		}
+		b := &bucket{
+			r:     r,
+			ids:   bs.IDs,
+			lens:  bs.Lens,
+			dirs:  bs.Dirs,
+			lb:    bs.Lens[0],
+			tuned: bs.Tuned,
+			tb:    bs.TB,
+			phi:   bs.Phi,
+		}
+		ix.buckets[i] = b
+		if size > ix.maxBucket {
+			ix.maxBucket = size
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("core: buckets hold %d probes, probe matrix has %d", total, n)
+	}
+	ix.prepTime = time.Since(start)
+	return ix, nil
+}

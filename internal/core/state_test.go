@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+)
+
+// TestStateRoundTrip rebuilds an index from its exported state and checks
+// that retrieval results are identical to the original's on every exact
+// algorithm, both before tuning has ever run and after a tuning pass.
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := genMatrix(rng, 40, 12, 1.0, 1, false, 1, 0)
+	p := genMatrix(rng, 300, 12, 1.2, 1, false, 2, 10)
+	theta, _, ok := safeThetaAt(q, p, 60)
+	if !ok {
+		t.Fatal("no usable threshold")
+	}
+	for _, alg := range Algorithms() {
+		if !alg.Exact() {
+			continue
+		}
+		ix, err := NewIndex(p, testOptions(alg))
+		if err != nil {
+			t.Fatalf("NewIndex(%v): %v", alg, err)
+		}
+		// Tune the original (RowTopK runs a tuning pass for LI/LC) so the
+		// exported state carries fitted parameters for those algorithms.
+		wantTop, _, err := ix.RowTopK(q, 7)
+		if err != nil {
+			t.Fatalf("RowTopK(%v): %v", alg, err)
+		}
+		var wantAbove []retrieval.Entry
+		if _, err := ix.AboveTheta(q, theta, retrieval.Collect(&wantAbove)); err != nil {
+			t.Fatalf("AboveTheta(%v): %v", alg, err)
+		}
+		retrieval.Sort(wantAbove)
+
+		re, err := FromState(ix.State())
+		if err != nil {
+			t.Fatalf("FromState(%v): %v", alg, err)
+		}
+		if re.N() != ix.N() || re.R() != ix.R() || re.NumBuckets() != ix.NumBuckets() {
+			t.Fatalf("alg %v: restored shape %d/%d/%d, want %d/%d/%d",
+				alg, re.N(), re.R(), re.NumBuckets(), ix.N(), ix.R(), ix.NumBuckets())
+		}
+		gotTop, _, err := re.RowTopK(q, 7)
+		if err != nil {
+			t.Fatalf("restored RowTopK(%v): %v", alg, err)
+		}
+		if !reflect.DeepEqual(gotTop, wantTop) {
+			t.Fatalf("alg %v: restored RowTopK differs", alg)
+		}
+		var gotAbove []retrieval.Entry
+		if _, err := re.AboveTheta(q, theta, retrieval.Collect(&gotAbove)); err != nil {
+			t.Fatalf("restored AboveTheta(%v): %v", alg, err)
+		}
+		retrieval.Sort(gotAbove)
+		if !reflect.DeepEqual(gotAbove, wantAbove) {
+			t.Fatalf("alg %v: restored AboveTheta differs", alg)
+		}
+	}
+}
+
+// TestPretuneFreezesTuning checks that a pretuned index reports zero tuning
+// time on retrieval calls and that the frozen flag survives a state
+// round-trip.
+func TestPretuneFreezesTuning(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := genMatrix(rng, 30, 10, 0.8, 1, false, 0, 0)
+	p := genMatrix(rng, 250, 10, 1.0, 1, false, 0, 0)
+	ix, err := NewIndex(p, testOptions(AlgLI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := ix.RowTopK(q, 5); err != nil || st.TuneTime == 0 {
+		t.Fatalf("untuned LI index should tune per call: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+	if err := ix.PretuneTopK(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Pretuned() {
+		t.Fatal("PretuneTopK did not set the frozen flag")
+	}
+	if _, st, err := ix.RowTopK(q, 5); err != nil || st.TuneTime != 0 {
+		t.Fatalf("pretuned index re-tuned: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+
+	re, err := FromState(ix.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Pretuned() {
+		t.Fatal("Pretuned flag lost in state round-trip")
+	}
+	if _, st, err := re.RowTopK(q, 5); err != nil || st.TuneTime != 0 {
+		t.Fatalf("restored pretuned index re-tuned: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+
+	// Unfreezing restores per-call tuning.
+	st2 := ix.State()
+	st2.Pretuned = false
+	re2, err := FromState(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := re2.RowTopK(q, 5); err != nil || st.TuneTime == 0 {
+		t.Fatalf("unfrozen restored index should tune: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+
+	if err := ix.PretuneAboveTheta(q, math.NaN()); err == nil {
+		t.Error("NaN theta accepted by PretuneAboveTheta")
+	}
+	if err := ix.PretuneTopK(matrix.New(10, 0), 5); err == nil {
+		t.Error("empty query sample accepted by PretuneTopK")
+	}
+	if err := ix.PretuneTopK(matrix.New(3, 4), 5); err == nil {
+		t.Error("dimension mismatch accepted by PretuneTopK")
+	}
+}
+
+// TestFromStateRejectsCorruptState mutates a valid state one invariant at a
+// time; every mutation must be rejected.
+func TestFromStateRejectsCorruptState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := genMatrix(rng, 120, 6, 0.9, 1, false, 0, 0)
+	build := func() *State {
+		ix, err := NewIndex(p, testOptions(AlgLI))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix.State()
+	}
+	cases := []struct {
+		name   string
+		mutate func(st *State)
+	}{
+		{"nil probe", func(st *State) { st.Probe = nil }},
+		{"empty bucket", func(st *State) { st.Buckets[0].IDs = nil; st.Buckets[0].Lens = nil; st.Buckets[0].Dirs = nil }},
+		{"lens shape", func(st *State) { st.Buckets[0].Lens = st.Buckets[0].Lens[:1] }},
+		{"dirs shape", func(st *State) { st.Buckets[0].Dirs = st.Buckets[0].Dirs[:5] }},
+		{"id out of range", func(st *State) { st.Buckets[0].IDs[0] = 9999 }},
+		{"duplicate id", func(st *State) { st.Buckets[0].IDs[1] = st.Buckets[0].IDs[0] }},
+		{"negative length", func(st *State) { st.Buckets[0].Lens[0] = -1 }},
+		{"NaN length", func(st *State) { st.Buckets[0].Lens[0] = math.NaN() }},
+		{"length order", func(st *State) { st.Buckets[len(st.Buckets)-1].Lens[0] = 1e12 }},
+		{"NaN direction", func(st *State) { st.Buckets[0].Dirs[2] = math.NaN() }},
+		{"bad tuned phi", func(st *State) { st.Buckets[0].Tuned = true; st.Buckets[0].Phi = 0 }},
+		{"NaN tb", func(st *State) { st.Buckets[0].Tuned = true; st.Buckets[0].Phi = 1; st.Buckets[0].TB = math.NaN() }},
+		{"missing probes", func(st *State) { st.Buckets = st.Buckets[:len(st.Buckets)-1] }},
+		{"bad options", func(st *State) { st.Opts.ShrinkFactor = 2 }},
+	}
+	for _, tc := range cases {
+		st := build()
+		tc.mutate(st)
+		if _, err := FromState(st); err == nil {
+			t.Errorf("%s: corrupt state accepted", tc.name)
+		}
+	}
+}

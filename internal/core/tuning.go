@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"lemp/internal/matrix"
 	"lemp/internal/topk"
 	"lemp/internal/vecmath"
 )
@@ -19,14 +21,57 @@ import (
 // (the paper's approach) or a deterministic operation count with
 // Options.TuneByCost.
 
-// needsTuning reports whether the configured algorithm has per-bucket
+// hasTunableParams reports whether the configured algorithm has per-bucket
 // parameters to select.
-func (ix *Index) needsTuning() bool {
+func (ix *Index) hasTunableParams() bool {
 	a := ix.opts.Algorithm
 	if a.needsTB() {
 		return true
 	}
 	return a.needsPhi() && ix.opts.Phi == 0
+}
+
+// needsTuning reports whether a retrieval call should run the sample-based
+// selection: the algorithm has parameters to fit and tuning has not been
+// frozen by a Pretune call (or a snapshot restore of a pretuned index).
+func (ix *Index) needsTuning() bool {
+	return !ix.pretuned && ix.hasTunableParams()
+}
+
+// PretuneTopK runs the sample-based algorithm selection (§4.4) for
+// Row-Top-k retrieval with the given query sample and freezes the fitted
+// per-bucket parameters: subsequent retrieval calls reuse them instead of
+// re-tuning. Freezing trades adaptivity for per-call latency — results stay
+// exact either way, only the per-bucket algorithm choice is affected — and
+// the frozen parameters survive snapshot save/restore, which is how a
+// snapshot-loaded server answers queries with zero tuning time.
+func (ix *Index) PretuneTopK(q *matrix.Matrix, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	return ix.pretune(q, tuneTopK{k: k})
+}
+
+// PretuneAboveTheta is PretuneTopK for Above-θ retrieval at threshold theta.
+func (ix *Index) PretuneAboveTheta(q *matrix.Matrix, theta float64) error {
+	if !(theta > 0) || math.IsInf(theta, 0) {
+		return fmt.Errorf("core: theta must be a positive finite number, got %v", theta)
+	}
+	return ix.pretune(q, tuneAbove{theta: theta})
+}
+
+func (ix *Index) pretune(q *matrix.Matrix, prob any) error {
+	if q.R() != ix.r {
+		return fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
+	}
+	if q.N() == 0 {
+		return fmt.Errorf("core: pretuning needs at least one sample query")
+	}
+	if ix.hasTunableParams() && ix.n > 0 {
+		ix.tune(prepareQueries(q), prob)
+	}
+	ix.pretuned = true
+	return nil
 }
 
 // tuneAbove and tuneTopK carry the problem context into the tuner; the

@@ -1,0 +1,44 @@
+package matrix
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// benchMatrix is sized like a mid-size probe snapshot section (64×10000,
+// ~5 MB of float64 payload) so the write/read benchmarks measure bulk
+// throughput rather than fixed header costs.
+func benchMatrix() *Matrix {
+	m := New(64, 10000)
+	m.FillRandom(rand.New(rand.NewSource(7)))
+	return m
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	m := benchMatrix()
+	b.SetBytes(int64(len(m.Data()) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteBinary(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	m := benchMatrix()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(m.Data()) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -97,6 +99,26 @@ func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newServer(sharded, cfg), nil
+}
+
+// NewFromSnapshot builds a server from one LEMPIDX1 snapshot per shard (in
+// shard order, as written by WriteSnapshots), skipping index construction
+// entirely: startup is O(read) instead of O(index). cfg.Shards is ignored —
+// the snapshot count is the shard count; cfg.Options contributes only
+// Parallelism (structure and algorithm are fixed by the snapshots).
+func NewFromSnapshot(snapshots []io.Reader, cfg Config) (*Server, error) {
+	cfg.Shards = len(snapshots)
+	cfg = cfg.withDefaults()
+	sharded, err := NewShardedFromSnapshot(snapshots, lemp.LoadOptions{Parallelism: cfg.Options.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return newServer(sharded, cfg), nil
+}
+
+// newServer wires the shared serving stack around a shard set.
+func newServer(sharded *Sharded, cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		sharded: sharded,
@@ -108,7 +130,42 @@ func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
 		s.batches.Add(1)
 		s.batchRows.Add(uint64(rows))
 	}
-	return s, nil
+	return s
+}
+
+// Sharded returns the server's shard set (for snapshot persistence and
+// introspection).
+func (s *Server) Sharded() *Sharded { return s.sharded }
+
+// WriteSnapshots persists every shard index: open(i, n) is called with each
+// shard number and the shard count and returns the destination (and any
+// error, which aborts the walk). Close is called only after a fully
+// successful write; when a write fails mid-stream, a destination
+// implementing Abort() is aborted instead of closed, so implementations
+// that commit on Close (temp file + rename) can discard the partial output
+// rather than publish it. Restart with NewFromSnapshot by supplying the
+// same snapshots in the same order. Must not run concurrently with request
+// serving — per-call tuning rewrites the state being serialized.
+func (s *Server) WriteSnapshots(open func(i, n int) (io.WriteCloser, error)) error {
+	ixs := s.sharded.Indexes()
+	for i, ix := range ixs {
+		w, err := open(i, len(ixs))
+		if err != nil {
+			return err
+		}
+		if err := ix.WriteSnapshot(w); err != nil {
+			if a, ok := w.(interface{ Abort() error }); ok {
+				a.Abort()
+			} else {
+				w.Close()
+			}
+			return fmt.Errorf("server: snapshotting shard %d: %w", i, err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("server: snapshotting shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Handler returns the server's HTTP routes.
@@ -185,8 +242,8 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.Theta <= 0 {
-		httpError(w, http.StatusBadRequest, "theta must be > 0, got %v", req.Theta)
+	if !finitePositive(req.Theta) {
+		httpError(w, http.StatusBadRequest, "theta must be a positive finite number, got %v", req.Theta)
 		return
 	}
 	s.serve(w, batchKey{theta: req.Theta}, req.Queries)
@@ -201,6 +258,15 @@ func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64)
 		if len(q) != r {
 			httpError(w, http.StatusBadRequest, "query %d has dimension %d, want %d", i, len(q), r)
 			return
+		}
+		// Non-finite coordinates poison the retrieval pipeline (query
+		// lengths and bucket bounds become NaN, silently emptying results)
+		// and the cache key; reject them at the door.
+		for j, x := range q {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				httpError(w, http.StatusBadRequest, "query %d coordinate %d is %v; coordinates must be finite", i, j, x)
+				return
+			}
 		}
 	}
 	s.requests.Add(1)
@@ -337,6 +403,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			RetrievalSeconds: st.RetrievalTime.Seconds(),
 		},
 	})
+}
+
+// finitePositive reports whether x is a positive finite float, the valid
+// domain for θ. Written as x > 0 rather than !(x <= 0) so NaN is rejected:
+// every comparison with NaN is false, so a NaN θ passes an x <= 0 guard and
+// would poison bucket-pruning bounds and the result-cache key. +Inf passes
+// x > 0 and needs its own check.
+func finitePositive(x float64) bool {
+	return x > 0 && !math.IsInf(x, 0)
 }
 
 // writeJSON marshals before writing so an encoding failure (e.g. a ±Inf

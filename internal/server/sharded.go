@@ -7,6 +7,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"lemp"
@@ -63,6 +64,56 @@ func NewSharded(probe *lemp.Matrix, nShards int, opts lemp.Options) (*Sharded, e
 		s.shards[i] = &shard{index: ix, base: lo}
 	}
 	return s, nil
+}
+
+// NewShardedFromIndexes assembles a Sharded from pre-built indexes —
+// typically loaded from per-shard snapshots — in shard order: index i must
+// cover the probe range immediately after index i-1, exactly as NewSharded
+// partitioned them, so that the cumulative base offsets reconstruct the
+// global probe id space.
+func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
+	if len(ixs) == 0 {
+		return nil, fmt.Errorf("server: no shard indexes")
+	}
+	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs))}
+	for i, ix := range ixs {
+		if ix.R() != s.r {
+			return nil, fmt.Errorf("server: shard %d has dimension %d, shard 0 has %d", i, ix.R(), s.r)
+		}
+		if ix.N() == 0 {
+			return nil, fmt.Errorf("server: shard %d is empty", i)
+		}
+		s.shards[i] = &shard{index: ix, base: s.n}
+		s.n += ix.N()
+	}
+	return s, nil
+}
+
+// NewShardedFromSnapshot rebuilds a Sharded from one LEMPIDX1 snapshot per
+// shard (in shard order), skipping bucketization and tuning: startup is
+// O(read). Snapshots written by Server.WriteSnapshots restore an identical
+// shard layout.
+func NewShardedFromSnapshot(snapshots []io.Reader, opts lemp.LoadOptions) (*Sharded, error) {
+	ixs := make([]*lemp.Index, len(snapshots))
+	for i, r := range snapshots {
+		ix, err := lemp.LoadIndex(r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading shard %d snapshot: %w", i, err)
+		}
+		ixs[i] = ix
+	}
+	return NewShardedFromIndexes(ixs)
+}
+
+// Indexes returns the per-shard indexes in shard order (base offsets are
+// cumulative N). Callers must not run retrievals on them while the Sharded
+// is serving.
+func (s *Sharded) Indexes() []*lemp.Index {
+	out := make([]*lemp.Index, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.index
+	}
+	return out
 }
 
 // N returns the total number of probes across all shards.

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+// The startup benchmarks compare the two ways lemp-serve reaches a
+// ready-to-serve (pretuned) state: building from the raw matrix pays
+// bucketization plus sample-based tuning (O(index), what -save-snapshot
+// pays once), restoring pays only deserialization and validation (O(read),
+// what -snapshot pays on every restart). Lazy per-bucket sorted lists are
+// built on first use in both cases and are excluded; persisting them is a
+// noted follow-on.
+
+func BenchmarkStartupBuildPretuned(b *testing.B) {
+	q, p := data.Smoke.Scale(4).Generate()
+	sample := q.Head(64)
+	cfg := Config{Shards: testShards, Options: benchOptions()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := New(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ix := range srv.Sharded().Indexes() {
+			if err := ix.PretuneTopK(sample, benchK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkStartupSnapshot(b *testing.B) {
+	q, p := data.Smoke.Scale(4).Generate()
+	cfg := Config{Shards: testShards, Options: benchOptions()}
+	built, err := New(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ix := range built.Sharded().Indexes() {
+		if err := ix.PretuneTopK(q.Head(64), benchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bufs := writeShardSnapshots(b, built)
+	var total int
+	for _, buf := range bufs {
+		total += buf.Len()
+	}
+	b.Logf("snapshot size: %d bytes across %d shards", total, len(bufs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := make([]io.Reader, len(bufs))
+		for j, buf := range bufs {
+			rs[j] = bytes.NewReader(buf.Bytes())
+		}
+		if _, err := NewFromSnapshot(rs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchOptions() lemp.Options { return lemp.Options{Parallelism: 1} }

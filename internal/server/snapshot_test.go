@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lemp"
+)
+
+// writeShardSnapshots snapshots every shard of a server into in-memory
+// buffers, in shard order.
+func writeShardSnapshots(t testing.TB, srv *Server) []*bytes.Buffer {
+	t.Helper()
+	var bufs []*bytes.Buffer
+	err := srv.WriteSnapshots(func(i, n int) (io.WriteCloser, error) {
+		bufs = append(bufs, &bytes.Buffer{})
+		return nopWriteCloser{bufs[i]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bufs
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func snapshotReaders(bufs []*bytes.Buffer) []io.Reader {
+	rs := make([]io.Reader, len(bufs))
+	for i, b := range bufs {
+		rs[i] = bytes.NewReader(b.Bytes())
+	}
+	return rs
+}
+
+// TestSnapshotServerMatchesBuiltServer round-trips a 4-shard server through
+// snapshots and requires identical responses from both.
+func TestSnapshotServerMatchesBuiltServer(t *testing.T) {
+	q, p := smokeMatrices(t)
+	built, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromSnapshot(snapshotReaders(writeShardSnapshots(t, built)), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Sharded().N() != built.Sharded().N() || restored.Sharded().NumShards() != built.Sharded().NumShards() {
+		t.Fatalf("restored %d probes in %d shards, want %d in %d",
+			restored.Sharded().N(), restored.Sharded().NumShards(), built.Sharded().N(), built.Sharded().NumShards())
+	}
+	tsBuilt := httptest.NewServer(built.Handler())
+	defer tsBuilt.Close()
+	tsRestored := httptest.NewServer(restored.Handler())
+	defer tsRestored.Close()
+
+	req := topKRequest{Queries: vecs(q, 0, 32), K: 10}
+	var want, got queryResponse
+	postJSON(t, tsBuilt.URL+"/v1/topk", req, &want)
+	postJSON(t, tsRestored.URL+"/v1/topk", req, &got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("snapshot-restored server returned different top-k results")
+	}
+
+	above := aboveRequest{Queries: vecs(q, 0, 32), Theta: 1.5}
+	postJSON(t, tsBuilt.URL+"/v1/above", above, &want)
+	postJSON(t, tsRestored.URL+"/v1/above", above, &got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("snapshot-restored server returned different above-θ results")
+	}
+}
+
+// TestSnapshotServerSkipsTuning is the restart-cost contract: a server
+// restored from pretuned shard snapshots must never spend time in tuning —
+// cumulative TuneTime stays zero across served traffic.
+func TestSnapshotServerSkipsTuning(t *testing.T) {
+	q, p := smokeMatrices(t)
+	built, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretune every shard so the snapshots freeze fitted parameters (this
+	// is what lemp-serve -save-snapshot does before writing).
+	for _, ix := range built.Sharded().Indexes() {
+		if err := ix.PretuneTopK(q.Head(32), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := NewFromSnapshot(snapshotReaders(writeShardSnapshots(t, built)), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(restored.Handler())
+	defer ts.Close()
+	var resp queryResponse
+	postJSON(t, ts.URL+"/v1/topk", topKRequest{Queries: vecs(q, 0, 64), K: 10}, &resp)
+	postJSON(t, ts.URL+"/v1/above", aboveRequest{Queries: vecs(q, 64, 128), Theta: 1.5}, &resp)
+	if st := restored.Sharded().CumulativeStats(); st.TuneTime != 0 {
+		t.Fatalf("snapshot-restored server spent %v tuning; want 0", st.TuneTime)
+	}
+}
+
+// failingDest errors partway through a snapshot write and records whether
+// the caller aborted (discarding partial output) or closed (committing it).
+type failingDest struct {
+	n       int
+	aborted bool
+	closed  bool
+}
+
+func (f *failingDest) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 64 {
+		return 0, io.ErrShortWrite
+	}
+	return len(p), nil
+}
+
+func (f *failingDest) Close() error { f.closed = true; return nil }
+func (f *failingDest) Abort() error { f.aborted = true; return nil }
+
+// TestWriteSnapshotsAbortsFailedWrites checks that a mid-stream write
+// failure aborts the destination instead of closing it — a temp-file
+// destination must never rename truncated output over a good snapshot.
+func TestWriteSnapshotsAbortsFailedWrites(t *testing.T) {
+	_, p := smokeMatrices(t)
+	srv, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := &failingDest{}
+	err = srv.WriteSnapshots(func(i, n int) (io.WriteCloser, error) { return dest, nil })
+	if err == nil {
+		t.Fatal("failing write reported success")
+	}
+	if !dest.aborted || dest.closed {
+		t.Fatalf("aborted=%v closed=%v; want aborted, not closed", dest.aborted, dest.closed)
+	}
+}
+
+func TestNewShardedFromIndexesValidates(t *testing.T) {
+	_, p := smokeMatrices(t)
+	ix, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := lemp.New(lemp.NewMatrix(3, 5), lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedFromIndexes(nil); err == nil {
+		t.Error("empty index list accepted")
+	}
+	if _, err := NewShardedFromIndexes([]*lemp.Index{ix, other}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	sh, err := NewShardedFromIndexes([]*lemp.Index{ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.N() != p.N() || sh.R() != p.R() {
+		t.Fatalf("shape %d/%d, want %d/%d", sh.N(), sh.R(), p.N(), p.R())
+	}
+}
+
+func TestNewFromSnapshotRejectsCorrupt(t *testing.T) {
+	_, p := smokeMatrices(t)
+	built, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := writeShardSnapshots(t, built)
+	raw := bufs[1].Bytes()
+	raw[len(raw)/2] ^= 0x20
+	if _, err := NewFromSnapshot(snapshotReaders(bufs), testConfig()); err == nil {
+		t.Fatal("corrupt shard snapshot accepted")
+	}
+}
+
+// TestRejectsNonFiniteInputs covers the serving-path hardening: NaN/Inf θ
+// and NaN/Inf query coordinates must all be rejected with 400 before
+// touching retrieval or the cache.
+func TestRejectsNonFiniteInputs(t *testing.T) {
+	q, p := smokeMatrices(t)
+	srv, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Raw bodies: JSON cannot represent NaN/Inf, so these exercise the
+	// decoder rejection; the handler guard behind it is tested below.
+	for _, body := range []string{
+		`{"queries": [[1, 2]], "theta": NaN}`,
+		`{"queries": [[1, 2]], "theta": Infinity}`,
+		`{"queries": [[NaN, 2]], "theta": 1}`,
+		`{"queries": [[1, 2]], "theta": 1e999}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/above", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// The θ guard itself (reachable by any future non-JSON transport).
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1} {
+		if finitePositive(x) {
+			t.Errorf("finitePositive(%v) = true", x)
+		}
+	}
+	if !finitePositive(0.5) || !finitePositive(math.MaxFloat64) {
+		t.Error("finitePositive rejected a valid θ")
+	}
+
+	// The query-coordinate guard in serve, called directly so non-finite
+	// values reach it without a JSON transport in the way.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		qv := append([]float64(nil), q.Vec(0)...)
+		qv[1] = bad
+		rec := httptest.NewRecorder()
+		srv.serve(rec, batchKey{topk: true, k: 3}, [][]float64{q.Vec(1), qv})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("query with %v coordinate: status %d, want 400", bad, rec.Code)
+		}
+	}
+}

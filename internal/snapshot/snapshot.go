@@ -1,0 +1,413 @@
+// Package snapshot serializes a LEMP index so a server can restart in
+// O(read) instead of re-paying the preprocessing of Algorithm 1 — the
+// bucketization of §3.2 and, when the index was pretuned, the sample-based
+// parameter selection of §4.4.
+//
+// The LEMPIDX1 format is a versioned, self-describing container:
+//
+//	magic    [8]byte  "LEMPIDX1"
+//	version  uint32   format version (currently 1)
+//	reserved uint32   zero
+//	section* — each section:
+//	    tag     [4]byte
+//	    length  uint64   payload bytes
+//	    payload [length]byte
+//	    crc32   uint32   IEEE CRC-32 of the payload
+//
+// All integers and floats are little endian. Version 1 defines four
+// sections, written in this order:
+//
+//	"OPTS"  the core.Options the index was built with
+//	"PROB"  the probe matrix (r, n, r×n float64)
+//	"BUKT"  the bucketization: pretuned flag, then per bucket its tuning
+//	        state (tuned, t_b, φ_b) and membership (ids, lengths,
+//	        normalized directions)
+//	"END\0" zero-length terminator
+//
+// Unknown sections are skipped (their checksum still verified), so later
+// versions can append sections without breaking version-1 readers. A reader
+// fails loudly — never silently serves wrong results — on a bad magic, an
+// unsupported version, a checksum mismatch, a truncated stream, or any
+// structural inconsistency; allocation while reading is always bounded by
+// the bytes actually present, so a crafted header cannot balloon memory.
+//
+// Lazily built per-bucket indexes (sorted lists, cover trees, L2AP,
+// signatures) are intentionally not persisted: they are cheap relative to
+// bucketization, query-dependent, and rebuilt lazily after a restore.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/bits"
+
+	"lemp/internal/core"
+	"lemp/internal/matrix"
+)
+
+// Magic identifies a LEMPIDX1 snapshot stream.
+const Magic = "LEMPIDX1"
+
+// Version is the current (and only) format version.
+const Version = 1
+
+var (
+	tagOptions = [4]byte{'O', 'P', 'T', 'S'}
+	tagProbe   = [4]byte{'P', 'R', 'O', 'B'}
+	tagBuckets = [4]byte{'B', 'U', 'K', 'T'}
+	tagEnd     = [4]byte{'E', 'N', 'D', 0}
+)
+
+// Dimension plausibility bounds, matching matrix.ReadBinary.
+const (
+	maxDim    = 1 << 20
+	maxProbes = 1 << 31
+)
+
+// optionsLen is the fixed OPTS payload size: one uint32, ten 8-byte fields,
+// one byte.
+const optionsLen = 4 + 10*8 + 1
+
+// Write serializes st in the LEMPIDX1 format.
+func Write(w io.Writer, st *core.State) error {
+	if st.Probe == nil {
+		return fmt.Errorf("snapshot: state has no probe matrix")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeSection(bw, tagOptions, optionsLen, func(w io.Writer) error {
+		return writeOptions(w, st.Opts)
+	}); err != nil {
+		return err
+	}
+	probeLen := uint64(8) + 8*uint64(st.Probe.R())*uint64(st.Probe.N())
+	if err := writeSection(bw, tagProbe, probeLen, func(w io.Writer) error {
+		return writeProbe(w, st.Probe)
+	}); err != nil {
+		return err
+	}
+	bucketsLen := uint64(5)
+	r := uint64(st.Probe.R())
+	for _, b := range st.Buckets {
+		s := uint64(len(b.IDs))
+		bucketsLen += 21 + 4*s + 8*s + 8*s*r
+	}
+	if err := writeSection(bw, tagBuckets, bucketsLen, func(w io.Writer) error {
+		return writeBuckets(w, st)
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(bw, tagEnd, 0, func(io.Writer) error { return nil }); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeSection frames one section: tag, declared length, the payload teed
+// through a CRC-32, and the checksum.
+func writeSection(bw *bufio.Writer, tag [4]byte, length uint64, payload func(io.Writer) error) error {
+	if _, err := bw.Write(tag[:]); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], length)
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	if err := payload(io.MultiWriter(bw, crc)); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	_, err := bw.Write(crcBuf[:])
+	return err
+}
+
+func writeOptions(w io.Writer, o core.Options) error {
+	buf := make([]byte, 0, optionsLen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(o.Algorithm))
+	for _, v := range []int64{
+		int64(o.Phi), int64(o.MaxPhi), int64(o.CacheBytes), int64(o.MinBucketSize),
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.ShrinkFactor))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(o.SampleQueries)))
+	buf = append(buf, boolByte(o.TuneByCost))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(o.Parallelism)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(o.SignatureBits)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Epsilon))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(o.Seed))
+	_, err := w.Write(buf)
+	return err
+}
+
+func writeProbe(w io.Writer, p *matrix.Matrix) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(p.R()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(p.N()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return matrix.WriteFloat64s(w, p.Data())
+}
+
+func writeBuckets(w io.Writer, st *core.State) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(st.Buckets)))
+	hdr[4] = boolByte(st.Pretuned)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, b := range st.Buckets {
+		var bh [21]byte
+		binary.LittleEndian.PutUint32(bh[0:4], uint32(len(b.IDs)))
+		bh[4] = boolByte(b.Tuned)
+		binary.LittleEndian.PutUint64(bh[5:13], math.Float64bits(b.TB))
+		binary.LittleEndian.PutUint64(bh[13:21], uint64(int64(b.Phi)))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		if err := matrix.WriteInt32s(w, b.IDs); err != nil {
+			return err
+		}
+		if err := matrix.WriteFloat64s(w, b.Lens); err != nil {
+			return err
+		}
+		if err := matrix.WriteFloat64s(w, b.Dirs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Read parses a LEMPIDX1 stream into a core.State. It verifies the format
+// version and every section checksum; structural invariants of the state
+// itself (id uniqueness, length ordering, …) are verified by
+// core.FromState, which every loader runs next.
+func Read(r io.Reader) (*core.State, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a LEMPIDX1 snapshot)", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	if rsv := binary.LittleEndian.Uint32(hdr[4:8]); rsv != 0 {
+		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
+	}
+	st := &core.State{}
+	var haveOpts, haveProbe, haveBuckets bool
+	for {
+		var tag [4]byte
+		if _, err := io.ReadFull(br, tag[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section tag: %w", err)
+		}
+		var lenBuf [8]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section length: %w", err)
+		}
+		sr := &sectionReader{br: br, n: binary.LittleEndian.Uint64(lenBuf[:]), crc: crc32.NewIEEE()}
+		var err error
+		switch tag {
+		case tagOptions:
+			if haveOpts {
+				return nil, fmt.Errorf("snapshot: duplicate OPTS section")
+			}
+			haveOpts = true
+			st.Opts, err = readOptions(sr)
+		case tagProbe:
+			if haveProbe {
+				return nil, fmt.Errorf("snapshot: duplicate PROB section")
+			}
+			haveProbe = true
+			st.Probe, err = readProbe(sr)
+		case tagBuckets:
+			if haveBuckets {
+				return nil, fmt.Errorf("snapshot: duplicate BUKT section")
+			}
+			if !haveProbe {
+				return nil, fmt.Errorf("snapshot: BUKT section before PROB")
+			}
+			haveBuckets = true
+			err = readBuckets(sr, st)
+		case tagEnd:
+			if sr.n != 0 {
+				return nil, fmt.Errorf("snapshot: END section with %d payload bytes", sr.n)
+			}
+			if err := sr.finish("END"); err != nil {
+				return nil, err
+			}
+			if !haveOpts || !haveProbe || !haveBuckets {
+				return nil, fmt.Errorf("snapshot: missing section (OPTS %v, PROB %v, BUKT %v)", haveOpts, haveProbe, haveBuckets)
+			}
+			return st, nil
+		default:
+			// Unknown section from a newer writer: skip, but still verify
+			// its checksum.
+			_, err = io.Copy(io.Discard, sr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %q: %w", tag[:], err)
+		}
+		if err := sr.finish(string(tag[:])); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sectionReader bounds reads to one section's declared payload and
+// accumulates its CRC-32.
+type sectionReader struct {
+	br  *bufio.Reader
+	n   uint64
+	crc hash.Hash32
+}
+
+func (s *sectionReader) Read(p []byte) (int, error) {
+	if s.n == 0 {
+		return 0, io.EOF
+	}
+	if uint64(len(p)) > s.n {
+		p = p[:s.n]
+	}
+	n, err := s.br.Read(p)
+	s.crc.Write(p[:n])
+	s.n -= uint64(n)
+	return n, err
+}
+
+// finish checks the section was fully consumed and its stored checksum
+// matches the bytes read.
+func (s *sectionReader) finish(tag string) error {
+	if s.n != 0 {
+		return fmt.Errorf("snapshot: section %q: %d declared payload bytes unused", tag, s.n)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(s.br, crcBuf[:]); err != nil {
+		return fmt.Errorf("snapshot: section %q: reading checksum: %w", tag, err)
+	}
+	if want, got := binary.LittleEndian.Uint32(crcBuf[:]), s.crc.Sum32(); want != got {
+		return fmt.Errorf("snapshot: section %q: checksum mismatch (stored %08x, computed %08x)", tag, want, got)
+	}
+	return nil
+}
+
+func readOptions(r io.Reader) (core.Options, error) {
+	buf := make([]byte, optionsLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return core.Options{}, err
+	}
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(buf[off:]) }
+	o := core.Options{
+		Algorithm:     core.Algorithm(binary.LittleEndian.Uint32(buf[0:4])),
+		Phi:           int(int64(u64(4))),
+		MaxPhi:        int(int64(u64(12))),
+		CacheBytes:    int(int64(u64(20))),
+		MinBucketSize: int(int64(u64(28))),
+		ShrinkFactor:  math.Float64frombits(u64(36)),
+		SampleQueries: int(int64(u64(44))),
+		TuneByCost:    buf[52] != 0,
+		Parallelism:   int(int64(u64(53))),
+		SignatureBits: int(int64(u64(61))),
+		Epsilon:       math.Float64frombits(u64(69)),
+		Seed:          int64(u64(77)),
+	}
+	return o, nil
+}
+
+func readProbe(r io.Reader) (*matrix.Matrix, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	rr := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if rr < 0 || n < 0 || rr > maxDim || n > maxProbes {
+		return nil, fmt.Errorf("implausible probe dimensions %d×%d", rr, n)
+	}
+	hi, lo := bits.Mul64(uint64(rr), uint64(n))
+	if hi != 0 || lo > uint64(math.MaxInt)/8 {
+		return nil, fmt.Errorf("probe dimensions %d×%d overflow", rr, n)
+	}
+	data, err := matrix.ReadFloat64s(r, int(lo))
+	if err != nil {
+		return nil, err
+	}
+	return matrix.FromData(rr, n, data)
+}
+
+func readBuckets(r io.Reader, st *core.State) error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	numBuckets := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	st.Pretuned = hdr[4] != 0
+	n, dim := st.Probe.N(), st.Probe.R()
+	if numBuckets < 0 || numBuckets > n {
+		return fmt.Errorf("%d buckets for %d probes", numBuckets, n)
+	}
+	st.Buckets = make([]core.BucketState, 0, numBuckets)
+	total := 0
+	for i := 0; i < numBuckets; i++ {
+		var bh [21]byte
+		if _, err := io.ReadFull(r, bh[:]); err != nil {
+			return fmt.Errorf("bucket %d header: %w", i, err)
+		}
+		size := int(binary.LittleEndian.Uint32(bh[0:4]))
+		if size < 1 || total+size > n {
+			return fmt.Errorf("bucket %d size %d exceeds %d probes", i, size, n)
+		}
+		total += size
+		b := core.BucketState{
+			Tuned: bh[4] != 0,
+			TB:    math.Float64frombits(binary.LittleEndian.Uint64(bh[5:13])),
+			Phi:   int(int64(binary.LittleEndian.Uint64(bh[13:21]))),
+		}
+		if b.Phi < 0 || b.Phi > maxDim {
+			return fmt.Errorf("bucket %d phi %d out of range", i, b.Phi)
+		}
+		var err error
+		if b.IDs, err = matrix.ReadInt32s(r, size); err != nil {
+			return fmt.Errorf("bucket %d ids: %w", i, err)
+		}
+		if b.Lens, err = matrix.ReadFloat64s(r, size); err != nil {
+			return fmt.Errorf("bucket %d lengths: %w", i, err)
+		}
+		if b.Dirs, err = matrix.ReadFloat64s(r, size*dim); err != nil {
+			return fmt.Errorf("bucket %d directions: %w", i, err)
+		}
+		st.Buckets = append(st.Buckets, b)
+	}
+	return nil
+}

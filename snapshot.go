@@ -1,0 +1,83 @@
+package lemp
+
+import (
+	"io"
+
+	"lemp/internal/core"
+	"lemp/internal/snapshot"
+)
+
+// Index snapshots persist the expensive preprocessing — bucketization
+// (§3.2) and, for pretuned indexes, the sample-based parameter selection
+// (§4.4) — in the versioned LEMPIDX1 binary format, so a process can
+// restart in O(read) instead of O(index). The format embeds the probe
+// matrix and the build options and checksums every section; a corrupt or
+// truncated snapshot fails to load instead of serving wrong results.
+
+// WriteSnapshot serializes the index (probe matrix, options, bucketization
+// and tuning state) in the LEMPIDX1 format. It must not run concurrently
+// with retrieval calls on the same index: per-call tuning rewrites the
+// per-bucket parameters being serialized.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, ix.inner.State())
+}
+
+// LoadOptions adjust how a snapshot is turned back into an Index. Only
+// runtime behavior can be overridden; everything that shaped the index
+// structure (algorithm, bucket sizing, …) is fixed by the snapshot.
+type LoadOptions struct {
+	// Parallelism overrides the snapshot's retrieval parallelism
+	// (0 keeps the stored value).
+	Parallelism int
+	// Retune discards the snapshot's frozen tuning decision: the loaded
+	// index re-runs per-call sample-based tuning like a freshly built one,
+	// instead of reusing the stored per-bucket parameters.
+	Retune bool
+}
+
+// LoadIndex reads a LEMPIDX1 snapshot and rebuilds the index without
+// re-running bucketization or tuning, so loading costs O(read). The
+// snapshot is checksum- and invariant-verified; any corruption or version
+// mismatch is an error. A loaded index answers queries identically to the
+// index that was snapshotted.
+func LoadIndex(r io.Reader, opts LoadOptions) (*Index, error) {
+	st, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallelism != 0 {
+		st.Opts.Parallelism = opts.Parallelism
+	}
+	if opts.Retune {
+		st.Pretuned = false
+	}
+	inner, err := core.FromState(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Probe returns the probe matrix the index was built over (or loaded with).
+// It aliases index state: mutating it invalidates the index.
+func (ix *Index) Probe() *Matrix { return ix.inner.Probe() }
+
+// Pretuned reports whether per-call tuning is frozen: the index reuses
+// stored per-bucket parameters (§4.4) instead of re-tuning on every
+// retrieval call. See PretuneTopK.
+func (ix *Index) Pretuned() bool { return ix.inner.Pretuned() }
+
+// PretuneTopK fits the per-bucket algorithm-selection parameters (§4.4) on
+// the given query sample for Row-Top-k retrieval at the given k, and
+// freezes them: subsequent retrieval calls skip tuning and a snapshot of
+// the index carries the fitted parameters, so a reloaded server answers
+// with zero tuning time. Results stay exact either way; tuning only picks
+// the per-bucket method. Use LoadOptions.Retune to unfreeze.
+func (ix *Index) PretuneTopK(q *Matrix, k int) error {
+	return ix.inner.PretuneTopK(q, k)
+}
+
+// PretuneAboveTheta is PretuneTopK for Above-θ retrieval at threshold theta.
+func (ix *Index) PretuneAboveTheta(q *Matrix, theta float64) error {
+	return ix.inner.PretuneAboveTheta(q, theta)
+}

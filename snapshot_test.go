@@ -1,0 +1,162 @@
+package lemp_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+// TestSnapshotRoundTripSmoke is the snapshot subsystem's end-to-end
+// property test: build an index on the Smoke profile, snapshot it, load it
+// back, and require byte-identical RowTopK and AboveTheta results — loaded
+// indexes must be indistinguishable from freshly built ones.
+func TestSnapshotRoundTripSmoke(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	ix, err := lemp.New(p, lemp.Options{TuneByCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapshot: %d bytes for %d probes of dim %d", buf.Len(), p.N(), p.R())
+	loaded, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != ix.N() || loaded.R() != ix.R() || loaded.NumBuckets() != ix.NumBuckets() {
+		t.Fatalf("loaded shape %d/%d/%d, want %d/%d/%d",
+			loaded.N(), loaded.R(), loaded.NumBuckets(), ix.N(), ix.R(), ix.NumBuckets())
+	}
+
+	wantTop, _, err := ix.RowTopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, _, err := loaded.RowTopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Fatal("snapshot-loaded RowTopK differs from freshly built index")
+	}
+
+	theta := medianTopValue(wantTop)
+	wantAbove, _, err := ix.AboveTheta(q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAbove, _, err := loaded.AboveTheta(q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lemp.SortEntries(wantAbove)
+	lemp.SortEntries(gotAbove)
+	if len(wantAbove) == 0 {
+		t.Fatal("threshold produced no entries; test is vacuous")
+	}
+	if !reflect.DeepEqual(gotAbove, wantAbove) {
+		t.Fatal("snapshot-loaded AboveTheta differs from freshly built index")
+	}
+}
+
+// TestSnapshotPretunedSkipsTuning checks the serving-restart contract: a
+// pretuned index snapshot restores with tuning frozen, so retrieval reports
+// zero tuning time, while LoadOptions.Retune opts back into per-call tuning.
+func TestSnapshotPretunedSkipsTuning(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	ix, err := lemp.New(p, lemp.Options{TuneByCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.PretuneTopK(q.Head(32), 10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Pretuned() {
+		t.Fatal("pretuned flag lost across snapshot")
+	}
+	if _, st, err := loaded.RowTopK(q, 10); err != nil || st.TuneTime != 0 {
+		t.Fatalf("pretuned loaded index re-tuned: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+
+	retuned, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{Retune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retuned.Pretuned() {
+		t.Fatal("Retune did not unfreeze tuning")
+	}
+	if _, st, err := retuned.RowTopK(q, 10); err != nil || st.TuneTime == 0 {
+		t.Fatalf("retuned index should tune per call: TuneTime=%v err=%v", st.TuneTime, err)
+	}
+}
+
+func TestLoadIndexParallelismOverride(t *testing.T) {
+	_, p := data.Smoke.Generate()
+	ix, err := lemp.New(p, lemp.Options{TuneByCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The override must not perturb results, only fan-out.
+	q, _ := data.Smoke.Generate()
+	want, _, err := ix.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel loaded index differs from sequential original")
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := lemp.LoadIndex(bytes.NewReader([]byte("LEMPMAT1")), lemp.LoadOptions{}); err == nil {
+		t.Error("matrix file accepted as index snapshot")
+	}
+	if _, err := lemp.LoadIndex(bytes.NewReader(nil), lemp.LoadOptions{}); err == nil {
+		t.Error("empty input accepted as index snapshot")
+	}
+}
+
+// medianTopValue picks a θ that yields a non-trivial Above-θ result set:
+// the median of the per-query best values.
+func medianTopValue(top lemp.TopK) float64 {
+	var vals []float64
+	for _, row := range top {
+		if len(row) > 0 && row[0].Value > 0 {
+			vals = append(vals, row[0].Value)
+		}
+	}
+	if len(vals) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
