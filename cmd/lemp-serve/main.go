@@ -20,8 +20,19 @@
 //
 //	POST /v1/topk    {"queries": [[...], ...], "k": 10}
 //	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
-//	GET  /healthz    liveness + index shape
+//	POST /v1/update  {"updates": [{"op": "add", "vector": [...]},
+//	                              {"op": "remove", "id": 3},
+//	                              {"op": "update", "id": 2, "vector": [...]}]}
+//	GET  /healthz    liveness + index shape + update epoch
 //	GET  /stats      server counters and cumulative retrieval stats
+//
+// The probe set is live: /v1/update applies atomic batches of adds,
+// removes and replaces. Small changes land in per-shard delta buckets;
+// once a shard's accumulated drift exceeds -compact-frac of its live
+// probes, the shard re-bucketizes. Every batch advances the epoch; queries
+// and cached results are epoch-consistent (a response never mixes pre- and
+// post-update vectors). A -save-snapshot taken after updates persists the
+// compacted live probe set with ids preserved.
 //
 // Retrieval uses all CPU cores by default: each shard runs with
 // Options.Parallelism = NumCPU/shards, so one dispatched batch fanning out
@@ -62,6 +73,8 @@ func main() {
 	batchMax := flag.Int("batch-max", 256, "maximum query rows per combined batch")
 	cacheEntries := flag.Int("cache", 65536, "result-cache capacity in result entries (0 or negative disables)")
 	pretuneK := flag.Int("pretune-k", 10, "k used by -save-snapshot's pretuning pass")
+	compactFrac := flag.Float64("compact-frac", 0.25, "re-bucketize a shard when its delta mass (tombstones+overlay per live probe) exceeds this fraction (negative disables)")
+	maxUpdateOps := flag.Int("max-update-ops", 4096, "maximum ops per /v1/update batch (negative disables the limit)")
 	flag.Parse()
 
 	sources := 0
@@ -82,12 +95,19 @@ func main() {
 		// value means "default" per the library convention.
 		*cacheEntries = -1
 	}
+	if *compactFrac == 0 {
+		// On the CLI, 0 naturally reads as "compact on any drift"; keep it
+		// by nudging below the Config zero value's "default" meaning.
+		*compactFrac = 1e-9
+	}
 	cfg := server.Config{
-		Shards:       *shards,
-		Options:      lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
-		BatchWindow:  *batchWindow,
-		BatchMax:     *batchMax,
-		CacheEntries: *cacheEntries,
+		Shards:          *shards,
+		Options:         lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
+		CacheEntries:    *cacheEntries,
+		MaxUpdateOps:    *maxUpdateOps,
+		CompactFraction: *compactFrac,
 	}
 
 	var srv *server.Server
@@ -219,7 +239,10 @@ func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *
 			fail("loading %s: %v", files[0], err)
 		}
 		log.Printf("re-sharding %s (%d probes) into %d shards: rebuilding indexes from the embedded probe matrix", files[0], ix.N(), shards)
-		srv, err := server.New(ix.Probe(), cfg)
+		// Preserve the snapshot's external probe ids through the rebuild:
+		// a mutated-then-saved catalog has non-contiguous ids, and
+		// renumbering them would silently re-address every probe.
+		srv, err := server.NewWithIDs(ix.Probe(), ix.ProbeIDs(), cfg)
 		if err != nil {
 			fail("%v", err)
 		}

@@ -26,7 +26,7 @@ func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink
 	if !(theta > 0) {
 		return Stats{}, fmt.Errorf("core: theta must be positive, got %v", theta)
 	}
-	st := Stats{Queries: q.N(), Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	qs := prepareQueries(q)
 	if ix.needsTuning() {
 		tuneStart := time.Now()
@@ -81,7 +81,7 @@ func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink
 // all buckets.
 func (ix *Index) aboveWorker(qs *querySet, lo, hi int, theta float64, s *scratch, emit retrieval.Sink, st *Stats) {
 	nq := int64(hi - lo)
-	for _, b := range ix.buckets {
+	for _, b := range ix.scan {
 		// θ_b(q) = θ/(‖q‖·l_b); for l_b = 0 this is +Inf and the
 		// bucket (zero vectors only) is pruned for every query.
 		var l2T0 float64
@@ -102,14 +102,14 @@ func (ix *Index) aboveWorker(qs *querySet, lo, hi int, theta float64, s *scratch
 			qdir := qs.dir(qi)
 			alg, phi := ix.resolve(b, thetaB)
 			ix.gather(b, alg, phi, int32(qi), qdir, qlen, theta, thetaB, l2T0, s)
-			verifyAbove(b, qdir, qlen, theta, qs.ids[qi], s, emit, st)
+			ix.verifyAbove(b, qdir, qlen, theta, qs.ids[qi], s, emit, st)
 		}
 		st.ProcessedPairs += processed
 		st.PrunedPairs += nq - processed
 		if processed == 0 {
 			// Even the longest query was pruned; later buckets have
 			// smaller l_b, so nothing else can qualify.
-			st.PrunedPairs += int64(len(ix.buckets)-bucketIndex(ix.buckets, b)-1) * nq
+			st.PrunedPairs += int64(len(ix.scan)-bucketIndex(ix.scan, b)-1) * nq
 			break
 		}
 	}

@@ -64,9 +64,10 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 	}
 	m := q.N()
 	aopts = aopts.withDefaults(m)
-	st := Stats{Queries: m, Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	st := Stats{Queries: m, Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	out := make(retrieval.TopK, m)
-	if m == 0 || ix.n == 0 {
+	live := ix.LiveN()
+	if m == 0 || live == 0 {
 		return out, st, nil
 	}
 
@@ -78,12 +79,12 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 
 	// Phase 2: exact Row-Top-k' for the centroids.
 	kk := k
-	if kk > ix.n {
-		kk = ix.n
+	if kk > live {
+		kk = live
 	}
 	expanded := kk * aopts.Expand
-	if expanded > ix.n {
-		expanded = ix.n
+	if expanded > live {
+		expanded = live
 	}
 	centroidTop, centroidStats, err := ix.RowTopK(clusters.Centroids, expanded)
 	if err != nil {
@@ -117,21 +118,27 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 	return out, st, nil
 }
 
-// probeVec reconstructs the raw probe vector with the given original id.
-// Approximate retrieval needs random access by original id; build the
-// lookup lazily on first use.
+// probeVec reconstructs the raw probe vector with the given external id.
+// Approximate retrieval needs random access by id; the lookup is built
+// lazily on first use and invalidated by mutations (which rebuild the scan
+// order it indexes into).
 func (ix *Index) probeVec(id int) []float64 {
-	ix.probeOnce.Do(func() {
-		loc := make([]probeLoc, ix.n)
-		for bi, b := range ix.buckets {
+	ix.probeMu.Lock()
+	if ix.probeLocs == nil {
+		loc := make(map[int32]probeLoc, ix.LiveN())
+		for bi, b := range ix.scan {
 			for lid := 0; lid < b.size(); lid++ {
+				if ix.deadSkip(b, lid) {
+					continue
+				}
 				loc[b.ids[lid]] = probeLoc{bucket: int32(bi), lid: int32(lid)}
 			}
 		}
 		ix.probeLocs = loc
-	})
-	l := ix.probeLocs[id]
-	b := ix.buckets[l.bucket]
+	}
+	l := ix.probeLocs[int32(id)]
+	ix.probeMu.Unlock()
+	b := ix.scan[l.bucket]
 	raw := make([]float64, ix.r)
 	vecmath.Scale(raw, b.dir(int(l.lid)), b.lens[l.lid])
 	return raw

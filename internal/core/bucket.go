@@ -43,6 +43,10 @@ type bucket struct {
 	tuned bool
 	tb    float64 // use LENGTH when θ_b(q) < tb
 	phi   int     // focus-set size for COORD/INCR
+
+	// delta marks an overlay bucket (delta.go): its entries are always
+	// live, so tombstone filtering is skipped.
+	delta bool
 }
 
 func (b *bucket) size() int { return len(b.ids) }
@@ -109,8 +113,9 @@ func (b *bucket) lengthPrefix(minLen float64) int {
 // into buckets per §3.2: a new bucket starts when the length drops below
 // shrink·l_b or the bucket would exceed maxSize vectors; every bucket holds
 // at least minSize vectors and a too-short tail is absorbed into the last
-// bucket. maxSize ≤ 0 means unlimited.
-func bucketize(p *matrix.Matrix, shrink float64, minSize, maxSize int) []*bucket {
+// bucket. maxSize ≤ 0 means unlimited. extIDs names column col extIDs[col]
+// in the bucket id arrays; nil uses the column numbers themselves.
+func bucketize(p *matrix.Matrix, extIDs []int32, shrink float64, minSize, maxSize int) []*bucket {
 	n := p.N()
 	if n == 0 {
 		return nil
@@ -150,7 +155,11 @@ func bucketize(p *matrix.Matrix, shrink float64, minSize, maxSize int) []*bucket
 		for i := start; i < end; i++ {
 			lid := i - start
 			id := order[i]
-			b.ids[lid] = id
+			if extIDs != nil {
+				b.ids[lid] = extIDs[id]
+			} else {
+				b.ids[lid] = id
+			}
 			b.lens[lid] = lens[id]
 			vecmath.Normalize(b.dir(lid), p.Vec(int(id)))
 		}

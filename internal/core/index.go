@@ -14,73 +14,127 @@ import (
 
 // Index is a LEMP index over a probe matrix P: the preprocessing phase of
 // Algorithm 1 (bucketization by length, normalization), with all per-bucket
-// search indexes built lazily during retrieval. An Index is immutable after
-// construction except for lazy index builds and tuning state; it supports
-// internal parallelism (Options.Parallelism), but distinct retrieval calls
-// must not run concurrently on the same Index.
+// search indexes built lazily during retrieval, plus the delta layer of
+// delta.go that absorbs probe mutations between re-bucketizations. It
+// supports internal parallelism (Options.Parallelism), but distinct
+// retrieval calls — and mutation calls, see Apply — must not run
+// concurrently on the same Index.
 type Index struct {
 	opts      Options
 	r         int
-	n         int
+	n         int            // main probe columns (tombstoned ones included)
 	probe     *matrix.Matrix // the matrix the index was built over (for snapshots)
-	buckets   []*bucket
-	maxBucket int
+	buckets   []*bucket      // main buckets, decreasing l_b
+	maxBucket int            // largest bucket in scan (sizes worker scratch)
 	prepTime  time.Duration
+
+	// External probe ids (delta.go): main column col has id idBase+col, or
+	// probeIDs[col] when the live id set is no longer contiguous (after a
+	// Compact of a mutated index). mainLoc inverts probeIDs for mutation
+	// routing.
+	idBase   int32
+	probeIDs []int32
+	mainLoc  map[int32]int32
+
+	// Delta layer (delta.go): tombstoned main ids, live overlay vectors,
+	// the overlay's bucketization, and the merged scan order. epoch counts
+	// applied mutation batches; nextID feeds AutoID adds.
+	epoch   uint64
+	nextID  int32
+	dead    map[int32]struct{}
+	overlay map[int32][]float64
+	delta   []*bucket
+	scan    []*bucket // main+delta merged by decreasing l_b; == buckets when no delta
 
 	// pretuned freezes per-call tuning: retrieval reuses the stored
 	// per-bucket (t_b, φ_b) instead of re-fitting them on every call. Set
-	// by the Pretune methods and restored by FromState.
-	pretuned bool
+	// by the Pretune methods and restored by FromState. tuneProb and
+	// tuneSample retain what Pretune fitted, so Compact can re-freeze.
+	pretuned   bool
+	tuneProb   any
+	tuneSample *matrix.Matrix
 
 	lshOnce sync.Once
 	hasher  *lsh.Hasher
 	table   *lsh.Table
 
-	// Lazy original-id → (bucket, lid) lookup for RowTopKApprox.
-	probeOnce sync.Once
-	probeLocs []probeLoc
+	// Lazy external-id → (scan bucket, lid) lookup for RowTopKApprox,
+	// invalidated by mutations.
+	probeMu   sync.Mutex
+	probeLocs map[int32]probeLoc
 }
 
 // NewIndex preprocesses the probe matrix into a LEMP index. The matrix must
 // not be mutated while the index is in use (directions are copied, but the
-// cover-tree bucket algorithm rebuilds raw vectors from them).
+// cover-tree bucket algorithm rebuilds raw vectors from them). Probes are
+// assigned the external ids 0..n-1.
 func NewIndex(p *matrix.Matrix, opts Options) (*Index, error) {
+	return NewIndexWithIDs(p, nil, opts)
+}
+
+// NewIndexWithIDs is NewIndex with caller-chosen external probe ids:
+// ids[col] names probe column col in every result and mutation. ids must be
+// unique and non-negative; nil assigns 0..n-1. Shards of a partitioned
+// probe set use this to index directly in the global id space.
+func NewIndexWithIDs(p *matrix.Matrix, ids []int32, opts Options) (*Index, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if ids != nil {
+		if len(ids) != p.N() {
+			return nil, fmt.Errorf("core: %d probe ids for %d probes", len(ids), p.N())
+		}
+		seen := make(map[int32]struct{}, len(ids))
+		for _, id := range ids {
+			if id < 0 || id > MaxProbeID {
+				return nil, fmt.Errorf("core: probe id %d out of range [0, %d]", id, int32(MaxProbeID))
+			}
+			if _, dup := seen[id]; dup {
+				return nil, fmt.Errorf("core: duplicate probe id %d", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
 	start := time.Now()
-	maxSize := 0
-	if opts.CacheBytes > 0 {
-		maxSize = opts.CacheBytes / bucketBytes(p.R())
-		if maxSize < opts.MinBucketSize {
-			maxSize = opts.MinBucketSize
-		}
-	}
 	ix := &Index{opts: opts, r: p.R(), n: p.N(), probe: p}
-	ix.buckets = bucketize(p, opts.ShrinkFactor, opts.MinBucketSize, maxSize)
-	for _, b := range ix.buckets {
-		if b.size() > ix.maxBucket {
-			ix.maxBucket = b.size()
-		}
-	}
+	ix.setIDs(ids)
+	ix.buckets = bucketize(p, ix.explicitIDs(), opts.ShrinkFactor, opts.MinBucketSize, ix.bucketCap())
+	ix.refreshScan()
+	ix.nextID = maxIDPlusOne(ix)
 	ix.prepTime = time.Since(start)
 	return ix, nil
+}
+
+// maxIDPlusOne computes the smallest id larger than every assigned id.
+func maxIDPlusOne(ix *Index) int32 {
+	if ix.n == 0 {
+		return ix.idBase
+	}
+	max := int32(-1)
+	for col := 0; col < ix.n; col++ {
+		if id := ix.extID(col); id > max {
+			max = id
+		}
+	}
+	return max + 1
 }
 
 // R returns the vector dimension.
 func (ix *Index) R() int { return ix.r }
 
-// N returns the number of indexed probe vectors.
-func (ix *Index) N() int { return ix.n }
+// N returns the number of live probe vectors (main probes minus tombstones
+// plus overlay entries).
+func (ix *Index) N() int { return ix.LiveN() }
 
-// NumBuckets returns the number of probe buckets.
-func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+// NumBuckets returns the number of probe buckets (main and delta).
+func (ix *Index) NumBuckets() int { return len(ix.scan) }
 
-// BucketSizes returns the size of each bucket in decreasing-length order.
+// BucketSizes returns the size of each scanned bucket in decreasing-length
+// order.
 func (ix *Index) BucketSizes() []int {
-	out := make([]int, len(ix.buckets))
-	for i, b := range ix.buckets {
+	out := make([]int, len(ix.scan))
+	for i, b := range ix.scan {
 		out[i] = b.size()
 	}
 	return out
@@ -98,12 +152,14 @@ type BucketInfo struct {
 	Tuned     bool    // t_b and φ_b were fitted by the last tuning pass
 	TB        float64 // switch threshold: LENGTH below, coordinate method above
 	Phi       int     // focus-set size φ_b
+	Delta     bool    // an overlay (delta-layer) bucket
 }
 
-// Buckets reports the current per-bucket state in decreasing-length order.
+// Buckets reports the current per-bucket state in decreasing-length order,
+// delta buckets included.
 func (ix *Index) Buckets() []BucketInfo {
-	out := make([]BucketInfo, len(ix.buckets))
-	for i, b := range ix.buckets {
+	out := make([]BucketInfo, len(ix.scan))
+	for i, b := range ix.scan {
 		out[i] = BucketInfo{
 			Size:      b.size(),
 			MaxLength: b.lb,
@@ -112,6 +168,7 @@ func (ix *Index) Buckets() []BucketInfo {
 			Tuned:     b.tuned,
 			TB:        b.tb,
 			Phi:       b.phi,
+			Delta:     b.delta,
 		}
 	}
 	return out
@@ -226,10 +283,14 @@ func (ix *Index) gather(b *bucket, alg Algorithm, phi int, qi int32, qdir []floa
 
 // verifyAbove computes exact inner products for the candidates of one
 // (query, bucket) pair and emits entries passing θ (line 16 of Algorithm 1).
-func verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
+// Tombstoned main-bucket entries are skipped before the dot product.
+func (ix *Index) verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
 	st.Candidates += int64(len(s.cand))
 	s.work += int64(len(s.cand)) * int64(b.r)
 	for _, lid := range s.cand {
+		if ix.deadSkip(b, int(lid)) {
+			continue
+		}
 		v := vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
 		if v >= theta {
 			st.Results++
@@ -241,7 +302,7 @@ func verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s
 // countIndexedBuckets fills the lazy-index statistic after a run.
 func (ix *Index) countIndexedBuckets(st *Stats) {
 	st.IndexedBuckets = 0
-	for _, b := range ix.buckets {
+	for _, b := range ix.scan {
 		if b.indexed() {
 			st.IndexedBuckets++
 		}

@@ -30,10 +30,10 @@ func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error)
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	st := Stats{Queries: q.N(), Buckets: len(ix.buckets), PrepTime: ix.prepTime}
+	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	out := make(retrieval.TopK, q.N())
 	qs := prepareQueries(q)
-	if ix.n > 0 && ix.needsTuning() {
+	if ix.LiveN() > 0 && ix.needsTuning() {
 		tuneStart := time.Now()
 		ix.tune(qs, tuneTopK{k: k})
 		st.TuneTime = time.Since(tuneStart)
@@ -79,12 +79,13 @@ func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error)
 // topkWorker answers queries [lo, hi) of the sorted query set. Each worker
 // owns its scratch and heap; output rows are disjoint, so no locking.
 func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retrieval.TopK, st *Stats) {
-	if ix.n == 0 {
+	live := ix.LiveN()
+	if live == 0 {
 		return
 	}
 	kk := k
-	if kk > ix.n {
-		kk = ix.n
+	if kk > live {
+		kk = live
 	}
 	heap := topk.New(kk)
 	negInf := math.Inf(-1)
@@ -92,13 +93,14 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 		origID := qs.ids[qi]
 		qlen := qs.lens[qi]
 		if qlen == 0 {
-			out[origID] = ix.zeroQueryRow(int(origID), kk)
-			st.Results += int64(kk)
+			row := ix.zeroQueryRow(int(origID), kk)
+			out[origID] = row
+			st.Results += int64(len(row))
 			continue
 		}
 		qdir := qs.dir(qi)
 		heap.Reset()
-		for _, b := range ix.buckets {
+		for _, b := range ix.scan {
 			theta, thetaB := negInf, negInf
 			if thr, ok := heap.Threshold(); ok {
 				theta = thr
@@ -125,6 +127,9 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 			st.Candidates += int64(len(s.cand))
 			s.work += int64(len(s.cand)) * int64(ix.r)
 			for _, lid := range s.cand {
+				if ix.deadSkip(b, int(lid)) {
+					continue
+				}
 				v := vecmath.Dot(qdir, b.dir(int(lid))) * b.lens[lid]
 				heap.Push(int(b.ids[lid]), v)
 			}
@@ -140,16 +145,33 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 }
 
 // zeroQueryRow answers a zero-length query: every product is 0, so any k
-// probes qualify; return the k longest for determinism.
+// probes qualify; return the k longest live probes (ties broken by smaller
+// id) for determinism. With a delta layer the per-bucket length order no
+// longer implies a global order, so the buckets are merged cursor-wise.
 func (ix *Index) zeroQueryRow(origID, kk int) []retrieval.Entry {
 	row := make([]retrieval.Entry, 0, kk)
-	for _, b := range ix.buckets {
-		for lid := 0; lid < b.size() && len(row) < kk; lid++ {
-			row = append(row, retrieval.Entry{Query: origID, Probe: int(b.ids[lid]), Value: 0})
+	cur := make([]int, len(ix.scan))
+	for len(row) < kk {
+		best := -1
+		var bestLen float64
+		var bestID int32
+		for bi, b := range ix.scan {
+			for cur[bi] < b.size() && ix.deadSkip(b, cur[bi]) {
+				cur[bi]++
+			}
+			if cur[bi] >= b.size() {
+				continue
+			}
+			l, id := b.lens[cur[bi]], b.ids[cur[bi]]
+			if best == -1 || l > bestLen || (l == bestLen && id < bestID) {
+				best, bestLen, bestID = bi, l, id
+			}
 		}
-		if len(row) == kk {
+		if best == -1 {
 			break
 		}
+		row = append(row, retrieval.Entry{Query: origID, Probe: int(bestID), Value: 0})
+		cur[best]++
 	}
 	return row
 }

@@ -21,6 +21,15 @@ type State struct {
 	Probe    *matrix.Matrix
 	Pretuned bool // per-call tuning is frozen (Index.PretuneTopK et al.)
 	Buckets  []BucketState
+
+	// IDs maps probe column → external id; nil means the identity mapping
+	// (column numbers are the ids). Mutated-then-compacted indexes have
+	// arbitrary stable ids.
+	IDs []int32
+	// Epoch is the mutation epoch (delta.go); NextID the next AutoID
+	// assignment. A zero NextID means "derive from the ids".
+	Epoch  uint64
+	NextID int32
 }
 
 // BucketState is the serializable state of one probe bucket: the sorted
@@ -39,12 +48,25 @@ type BucketState struct {
 // State exports the index's serializable state. The contained slices alias
 // index storage and must not be mutated; retrieval calls must not run
 // concurrently with serialization (tuning rewrites bucket parameters).
+//
+// A mutated index (live delta layer) is compacted on export — into a
+// private copy, the receiver is unchanged — so the state always describes
+// a tombstone-free bucketization over the live probe set with external ids
+// preserved. Loading it answers queries identically to the mutated index.
 func (ix *Index) State() *State {
+	if ix.mutated() {
+		cp := ix.shallowClone()
+		cp.Compact()
+		return cp.State()
+	}
 	st := &State{
 		Opts:     ix.opts,
 		Probe:    ix.probe,
 		Pretuned: ix.pretuned,
 		Buckets:  make([]BucketState, len(ix.buckets)),
+		IDs:      ix.explicitIDs(),
+		Epoch:    ix.epoch,
+		NextID:   ix.nextID,
 	}
 	for i, b := range ix.buckets {
 		st.Buckets[i] = BucketState{
@@ -85,6 +107,24 @@ func FromState(st *State) (*Index, error) {
 	}
 	r, n := st.Probe.R(), st.Probe.N()
 	ix := &Index{opts: opts, r: r, n: n, probe: st.Probe, pretuned: st.Pretuned}
+	// Resolve the external id universe: identity (ids are column numbers)
+	// or the explicit column → id mapping of a compacted mutated index.
+	var idSet map[int32]bool // id → seen in a bucket yet; nil = identity
+	if st.IDs != nil {
+		if len(st.IDs) != n {
+			return nil, fmt.Errorf("core: state has %d probe ids for %d probes", len(st.IDs), n)
+		}
+		idSet = make(map[int32]bool, n)
+		for _, id := range st.IDs {
+			if id < 0 || id > MaxProbeID {
+				return nil, fmt.Errorf("core: probe id %d out of range [0, %d]", id, int32(MaxProbeID))
+			}
+			if _, dup := idSet[id]; dup {
+				return nil, fmt.Errorf("core: probe id %d appears twice", id)
+			}
+			idSet[id] = false
+		}
+	}
 	ix.buckets = make([]*bucket, len(st.Buckets))
 	seen := make([]bool, n)
 	total := 0
@@ -103,13 +143,24 @@ func FromState(st *State) (*Index, error) {
 			return nil, fmt.Errorf("core: buckets hold more than %d probes", n)
 		}
 		for j, id := range bs.IDs {
-			if id < 0 || int(id) >= n {
-				return nil, fmt.Errorf("core: bucket %d id %d out of range [0,%d)", i, id, n)
+			if idSet != nil {
+				used, known := idSet[id]
+				if !known {
+					return nil, fmt.Errorf("core: bucket %d id %d is not a probe id", i, id)
+				}
+				if used {
+					return nil, fmt.Errorf("core: probe id %d appears twice", id)
+				}
+				idSet[id] = true
+			} else {
+				if id < 0 || int(id) >= n {
+					return nil, fmt.Errorf("core: bucket %d id %d out of range [0,%d)", i, id, n)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("core: probe id %d appears twice", id)
+				}
+				seen[id] = true
 			}
-			if seen[id] {
-				return nil, fmt.Errorf("core: probe id %d appears twice", id)
-			}
-			seen[id] = true
 			l := bs.Lens[j]
 			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
 				return nil, fmt.Errorf("core: bucket %d length %d is %v", i, j, l)
@@ -145,6 +196,13 @@ func FromState(st *State) (*Index, error) {
 	if total != n {
 		return nil, fmt.Errorf("core: buckets hold %d probes, probe matrix has %d", total, n)
 	}
+	ix.setIDs(st.IDs)
+	ix.refreshScan()
+	ix.nextID = maxIDPlusOne(ix)
+	if st.NextID > ix.nextID {
+		ix.nextID = st.NextID
+	}
+	ix.epoch = st.Epoch
 	ix.prepTime = time.Since(start)
 	return ix, nil
 }

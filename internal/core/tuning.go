@@ -67,10 +67,15 @@ func (ix *Index) pretune(q *matrix.Matrix, prob any) error {
 	if q.N() == 0 {
 		return fmt.Errorf("core: pretuning needs at least one sample query")
 	}
-	if ix.hasTunableParams() && ix.n > 0 {
+	if ix.hasTunableParams() && ix.LiveN() > 0 {
 		ix.tune(prepareQueries(q), prob)
 	}
 	ix.pretuned = true
+	// Retain the sample and problem so Compact can re-freeze the fitted
+	// parameters after re-bucketization (the sample is small; cloning
+	// detaches it from caller-owned storage).
+	ix.tuneProb = prob
+	ix.tuneSample = q.Clone()
 	return nil
 }
 
@@ -88,12 +93,12 @@ type observation struct {
 }
 
 func (ix *Index) tune(qs *querySet, prob any) {
-	for _, b := range ix.buckets {
+	for _, b := range ix.scan {
 		b.tuned = false
 	}
 	sample := sampleIndices(qs.n(), ix.opts.SampleQueries)
 	s := newScratch(ix.maxBucket, ix.r)
-	obs := make([][]observation, len(ix.buckets))
+	obs := make([][]observation, len(ix.scan))
 
 	switch p := prob.(type) {
 	case tuneAbove:
@@ -103,7 +108,7 @@ func (ix *Index) tune(qs *querySet, prob any) {
 				break
 			}
 			qdir := qs.dir(qi)
-			for bi, b := range ix.buckets {
+			for bi, b := range ix.scan {
 				thetaB := p.theta / (qlen * b.lb)
 				if thetaB > 1 {
 					break // buckets are ordered by decreasing l_b
@@ -113,8 +118,8 @@ func (ix *Index) tune(qs *querySet, prob any) {
 		}
 	case tuneTopK:
 		kk := p.k
-		if kk > ix.n {
-			kk = ix.n
+		if live := ix.LiveN(); kk > live {
+			kk = live
 		}
 		if kk == 0 {
 			break
@@ -127,7 +132,7 @@ func (ix *Index) tune(qs *querySet, prob any) {
 			}
 			qdir := qs.dir(qi)
 			heap.Reset()
-			for bi, b := range ix.buckets {
+			for bi, b := range ix.scan {
 				theta, thetaB := math.Inf(-1), math.Inf(-1)
 				if thr, ok := heap.Threshold(); ok {
 					theta = thr
@@ -156,13 +161,16 @@ func (ix *Index) tune(qs *querySet, prob any) {
 				// θ′ trajectory as a real run).
 				runLength(b, theta, 1, s)
 				for _, lid := range s.cand {
+					if ix.deadSkip(b, int(lid)) {
+						continue
+					}
 					heap.Push(int(b.ids[lid]), vecmath.Dot(qdir, b.dir(int(lid)))*b.lens[lid])
 				}
 			}
 		}
 	}
 
-	for bi, b := range ix.buckets {
+	for bi, b := range ix.scan {
 		ix.fitBucket(b, obs[bi])
 	}
 }

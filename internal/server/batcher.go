@@ -19,6 +19,11 @@ import (
 // A batch is dispatched when it reaches MaxBatch rows or when Window
 // elapses after its first request, whichever comes first. Window <= 0 or
 // MaxBatch <= 1 disables coalescing: every request dispatches immediately.
+//
+// Batches are epoch-pinned: requests only coalesce when they were admitted
+// at the same update epoch, and the combined retrieval runs on the View of
+// that epoch — never on a newer probe set — so a caller that keyed its
+// cache entries to an epoch receives results consistent with it.
 type Batcher struct {
 	sharded *Sharded
 	window  time.Duration
@@ -33,16 +38,20 @@ type Batcher struct {
 }
 
 // batchKey identifies requests that can share one retrieval call: the
-// problem kind plus its parameter. Rows of a query matrix share one k or θ.
+// problem kind plus its parameter, and the update epoch the request was
+// admitted at. Rows of a query matrix share one k or θ; requests from
+// different epochs never share a call.
 type batchKey struct {
 	topk  bool
 	k     int
 	theta float64
+	epoch uint64
 }
 
 // formingBatch is a batch still accepting rows.
 type formingBatch struct {
 	key     batchKey
+	view    *View     // the epoch snapshot the batch will retrieve on
 	data    []float64 // concatenated query vectors
 	rows    int
 	waiters []*waiter
@@ -74,24 +83,34 @@ func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
 }
 
 // TopK submits one request's query rows (concatenated vectors of dimension
-// R) for Row-Top-k retrieval and blocks until its batch completes. The
-// returned rows parallel the submitted queries.
+// R) for Row-Top-k retrieval at the current epoch and blocks until its
+// batch completes. The returned rows parallel the submitted queries.
 func (b *Batcher) TopK(data []float64, rows, k int) ([][]lemp.Entry, error) {
-	return b.submit(batchKey{topk: true, k: k}, data, rows)
+	return b.TopKAt(b.sharded.CurrentView(), data, rows, k)
 }
 
-// AboveTheta submits one request's query rows for Above-θ retrieval and
-// blocks until its batch completes.
+// TopKAt is TopK pinned to the caller's epoch snapshot.
+func (b *Batcher) TopKAt(v *View, data []float64, rows, k int) ([][]lemp.Entry, error) {
+	return b.submit(batchKey{topk: true, k: k, epoch: v.Epoch()}, v, data, rows)
+}
+
+// AboveTheta submits one request's query rows for Above-θ retrieval at the
+// current epoch and blocks until its batch completes.
 func (b *Batcher) AboveTheta(data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
-	return b.submit(batchKey{theta: theta}, data, rows)
+	return b.AboveThetaAt(b.sharded.CurrentView(), data, rows, theta)
 }
 
-func (b *Batcher) submit(key batchKey, data []float64, rows int) ([][]lemp.Entry, error) {
+// AboveThetaAt is AboveTheta pinned to the caller's epoch snapshot.
+func (b *Batcher) AboveThetaAt(v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
+	return b.submit(batchKey{theta: theta, epoch: v.Epoch()}, v, data, rows)
+}
+
+func (b *Batcher) submit(key batchKey, v *View, data []float64, rows int) ([][]lemp.Entry, error) {
 	if rows == 0 {
 		return nil, nil
 	}
 	if b.window <= 0 || b.max <= 1 {
-		res := b.retrieve(key, data, rows, 1)
+		res := b.retrieve(key, v, data, rows, 1)
 		return res.rows, res.err
 	}
 
@@ -103,7 +122,7 @@ func (b *Batcher) submit(key batchKey, data []float64, rows int) ([][]lemp.Entry
 		if fb != nil && !fb.fired {
 			b.fire(fb)
 		}
-		fb = &formingBatch{key: key}
+		fb = &formingBatch{key: key, view: v}
 		fb.timer = time.AfterFunc(b.window, func() {
 			b.mu.Lock()
 			defer b.mu.Unlock()
@@ -139,7 +158,7 @@ func (b *Batcher) fire(fb *formingBatch) {
 
 // dispatch runs the combined retrieval and scatters rows to the waiters.
 func (b *Batcher) dispatch(fb *formingBatch) {
-	res := b.retrieve(fb.key, fb.data, fb.rows, len(fb.waiters))
+	res := b.retrieve(fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
 	for _, w := range fb.waiters {
 		if res.err != nil {
 			w.done <- batchResult{err: res.err}
@@ -155,8 +174,9 @@ func (b *Batcher) dispatch(fb *formingBatch) {
 	}
 }
 
-// retrieve performs one sharded retrieval over a batch of rows.
-func (b *Batcher) retrieve(key batchKey, data []float64, rows, requests int) batchResult {
+// retrieve performs one sharded retrieval over a batch of rows, on the
+// epoch snapshot the batch was admitted at.
+func (b *Batcher) retrieve(key batchKey, v *View, data []float64, rows, requests int) batchResult {
 	q, err := lemp.MatrixFromData(b.sharded.R(), rows, data)
 	if err != nil {
 		return batchResult{err: err}
@@ -165,13 +185,13 @@ func (b *Batcher) retrieve(key batchKey, data []float64, rows, requests int) bat
 		b.onDispatch(rows, requests)
 	}
 	if key.topk {
-		top, _, err := b.sharded.TopK(q, key.k)
+		top, _, err := v.TopK(q, key.k)
 		if err != nil {
 			return batchResult{err: err}
 		}
 		return batchResult{rows: top}
 	}
-	out, _, err := b.sharded.AboveTheta(q, key.theta)
+	out, _, err := v.AboveTheta(q, key.theta)
 	if err != nil {
 		return batchResult{err: err}
 	}

@@ -13,14 +13,16 @@ import (
 // Cache is an LRU map from (query vector, retrieval parameters) to that
 // query's result row. Keys embed the full vector bytes, so hits are exact —
 // no hash collisions — and two queries differing only in k or θ never
-// alias. Cached rows carry global probe ids; the Query field is stale for
-// later requests, so consumers must use only Probe and Value.
+// alias. Keys also embed the update epoch the row was computed at, so a
+// probe mutation atomically invalidates the whole cache (see cacheKey).
+// Cached rows carry global probe ids; the Query field is stale for later
+// requests, so consumers must use only Probe and Value.
 //
 // Capacity is counted in result entries, not rows: Above-θ rows can hold
 // up to N entries each, so a row-count bound would let a few low-θ queries
 // pin unbounded memory. An empty row still costs 1 so it remains evictable.
 // When sizing the capacity, note that each cached row also stores its
-// 17+8R-byte key (plus list/map overhead) beyond the counted entries —
+// 25+8R-byte key (plus list/map overhead) beyond the counted entries —
 // significant when most rows are small and R is large.
 type Cache struct {
 	mu      sync.Mutex
@@ -57,8 +59,13 @@ func NewCache(capacity int) *Cache {
 }
 
 // cacheKey encodes one query row and its parameters as an exact byte key.
+// The update epoch is part of the key: a probe mutation advances the epoch
+// and thereby invalidates every cached row at once — stale rows become
+// unreachable (their epoch never recurs) and age out of the LRU under the
+// normal entry accounting.
 func cacheKey(key batchKey, vec []float64) string {
-	b := make([]byte, 0, 17+8*len(vec))
+	b := make([]byte, 0, 25+8*len(vec))
+	b = binary.LittleEndian.AppendUint64(b, key.epoch)
 	if key.topk {
 		b = append(b, 'k')
 		b = binary.LittleEndian.AppendUint64(b, uint64(key.k))

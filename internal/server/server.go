@@ -37,13 +37,22 @@ type Config struct {
 	// CacheEntries is the LRU result-cache capacity in result entries
 	// (default 65536; negative disables caching). Entries, not rows: an
 	// Above-θ row can hold up to N entries, so a row bound would not
-	// bound memory. Each cached row also stores its 17+8R-byte key beyond
+	// bound memory. Each cached row also stores its 25+8R-byte key beyond
 	// the counted entries; size the capacity with that overhead in mind.
 	CacheEntries int
 	// MaxBodyBytes caps the request body size (default 32 MiB; negative
 	// disables the limit). A long-lived server must not let one client
 	// buffer arbitrary JSON into memory.
 	MaxBodyBytes int64
+	// MaxUpdateOps caps the number of ops per /v1/update batch (default
+	// 4096; negative disables the limit). Updates are applied atomically,
+	// so an unbounded batch would buffer unbounded derived state.
+	MaxUpdateOps int
+	// CompactFraction is the per-shard delta-mass threshold above which an
+	// update triggers re-bucketization of that shard (default 0.25;
+	// negative disables auto-compaction). Lower values keep pruning tight
+	// at the cost of more frequent rebuilds.
+	CompactFraction float64
 }
 
 // withDefaults resolves zero fields.
@@ -66,13 +75,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.MaxUpdateOps == 0 {
+		c.MaxUpdateOps = 4096
+	}
+	if c.CompactFraction == 0 {
+		c.CompactFraction = 0.25
+	}
 	return c
 }
 
-// Server answers LEMP retrieval queries over HTTP:
+// Server answers LEMP retrieval queries and probe updates over HTTP:
 //
 //	POST /v1/topk    {"queries": [[...], ...], "k": 10}
 //	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
+//	POST /v1/update  {"updates": [{"op": "add", "vector": [...]}, ...]}
 //	GET  /healthz
 //	GET  /stats
 //
@@ -87,6 +103,7 @@ type Server struct {
 	start   time.Time
 
 	requests  atomic.Uint64 // retrieval requests accepted
+	updates   atomic.Uint64 // update batches applied
 	batches   atomic.Uint64 // retrieval calls dispatched
 	batchRows atomic.Uint64 // query rows across all dispatched calls
 }
@@ -94,8 +111,16 @@ type Server struct {
 // New builds a server over the probe matrix: cfg.Shards indexes over
 // contiguous probe ranges behind a micro-batcher and a result cache.
 func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
+	return NewWithIDs(probe, nil, cfg)
+}
+
+// NewWithIDs is New with caller-chosen external probe ids (ids[i] names
+// probe column i; nil assigns 0..n-1). Rebuilding a server from a mutated
+// catalog — e.g. re-sharding a snapshot whose ids are no longer contiguous
+// — must use this so results and updates keep addressing the same probes.
+func NewWithIDs(probe *lemp.Matrix, ids []int32, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	sharded, err := NewSharded(probe, cfg.Shards, cfg.Options)
+	sharded, err := NewShardedWithIDs(probe, ids, cfg.Shards, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +198,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/above", s.handleAbove)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -229,11 +255,6 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	// A row can never hold more than N entries; clamping here keeps huge k
-	// values from sizing merge buffers (and cache keys) off user input.
-	if n := s.sharded.N(); req.K > n {
-		req.K = n
-	}
 	s.serve(w, batchKey{topk: true, k: req.K}, req.Queries)
 }
 
@@ -249,10 +270,19 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 	s.serve(w, batchKey{theta: req.Theta}, req.Queries)
 }
 
-// serve answers one retrieval request: cached rows are returned directly,
-// the remaining rows go through the batcher as one submission, and fresh
-// results are inserted into the cache.
+// serve answers one retrieval request pinned to a single update epoch:
+// the epoch snapshot is taken once, cache lookups, the batched retrieval
+// and cache inserts all use it, so a response can never mix rows from
+// different epochs and a cached row can never outlive the probe set it
+// was computed against.
 func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64) {
+	view := s.sharded.CurrentView()
+	key.epoch = view.Epoch()
+	// A row can never hold more than N entries; clamping here keeps huge k
+	// values from sizing merge buffers (and cache keys) off user input.
+	if n := view.N(); key.topk && n > 0 && key.k > n {
+		key.k = n
+	}
 	r := s.sharded.R()
 	for i, q := range queries {
 		if len(q) != r {
@@ -298,9 +328,9 @@ func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64)
 			err   error
 		)
 		if key.topk {
-			fresh, err = s.batcher.TopK(missData, len(missIdx), key.k)
+			fresh, err = s.batcher.TopKAt(view, missData, len(missIdx), key.k)
 		} else {
-			fresh, err = s.batcher.AboveTheta(missData, len(missIdx), key.theta)
+			fresh, err = s.batcher.AboveThetaAt(view, missData, len(missIdx), key.theta)
 		}
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "retrieval: %v", err)
@@ -331,14 +361,17 @@ type healthzResponse struct {
 	Probes int    `json:"probes"`
 	Shards int    `json:"shards"`
 	Dim    int    `json:"dim"`
+	Epoch  uint64 `json:"epoch"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	view := s.sharded.CurrentView()
 	writeJSON(w, healthzResponse{
 		Status: "ok",
-		Probes: s.sharded.N(),
+		Probes: view.N(),
 		Shards: s.sharded.NumShards(),
 		Dim:    s.sharded.R(),
+		Epoch:  view.Epoch(),
 	})
 }
 
@@ -347,6 +380,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 type statsResponse struct {
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	Requests      uint64    `json:"requests"`
+	Updates       uint64    `json:"updates"`
+	Epoch         uint64    `json:"epoch"`
+	LiveProbes    int       `json:"live_probes"`
 	Batches       uint64    `json:"batches"`
 	BatchRows     uint64    `json:"batch_rows"`
 	AvgBatchRows  float64   `json:"avg_batch_rows"`
@@ -383,9 +419,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if batches > 0 {
 		avg = float64(rows) / float64(batches)
 	}
+	view := s.sharded.CurrentView()
 	writeJSON(w, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		Updates:       s.updates.Load(),
+		Epoch:         view.Epoch(),
+		LiveProbes:    view.N(),
 		Batches:       batches,
 		BatchRows:     rows,
 		AvgBatchRows:  avg,

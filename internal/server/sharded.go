@@ -2,7 +2,8 @@
 // it shards a probe matrix across independent LEMP indexes, micro-batches
 // concurrent HTTP requests into whole-matrix retrieval calls (the batch
 // interface RowTopK/AboveTheta already expose), caches per-query results,
-// and reports cumulative retrieval statistics.
+// applies live probe updates with epoch-consistent snapshots, and reports
+// cumulative retrieval statistics.
 package server
 
 import (
@@ -14,38 +15,69 @@ import (
 )
 
 // Sharded partitions a probe matrix into S contiguous shards, each backed
-// by its own lemp.Index, and answers whole-batch retrievals by fanning the
-// query matrix across all shards concurrently and merging per-shard
-// results: a k-way heap merge for Row-Top-k, concatenation for Above-θ.
-// Shard-local probe ids are remapped to global ids before merging, so
-// callers see the same id space as a single unsharded index.
+// by its own lemp.Index built directly in the global probe-id space, and
+// answers whole-batch retrievals by fanning the query matrix across all
+// shards concurrently and merging per-shard results: a k-way heap merge
+// for Row-Top-k, concatenation for Above-θ.
 //
-// Each shard serializes its own retrieval calls (lemp.Index supports only
-// one call at a time), so Sharded is safe for concurrent use.
+// The probe set is mutable: Update applies a batch of add/remove/update
+// ops by deriving new per-shard indexes copy-on-write (lemp.WithUpdates)
+// and swapping them in atomically under one epoch increment. Queries run
+// against a View — an immutable snapshot of (epoch, shard indexes) taken
+// at dispatch — so every retrieval sees exactly one epoch even while
+// updates land, and no response can mix pre- and post-update probe
+// vectors.
+//
+// Each shard serializes retrieval calls across all index versions
+// (lemp.Index supports one call at a time, and old/new versions share
+// main-bucket state), so Sharded is safe for concurrent use.
 type Sharded struct {
-	shards []*shard
-	r      int
-	n      int
+	r int
 
-	mu  sync.Mutex
-	cum lemp.Stats // cumulative stats across all retrieval calls
+	// mu guards the swappable serving state: the shard index pointers,
+	// the epoch, and the live probe count. Query dispatch takes it
+	// briefly to snapshot a View; Update takes it to commit a swap.
+	mu     sync.RWMutex
+	epoch  uint64
+	n      int // live probes across all shards
+	shards []*shard
+
+	// updMu serializes Update calls. Routing state (routes, nextID) is
+	// only accessed while it is held.
+	updMu  sync.Mutex
+	routes map[int32]int // live probe id → shard
+	nextID int32         // next auto-assigned probe id
+
+	statsMu sync.Mutex
+	cum     lemp.Stats // cumulative stats across all retrieval calls
 }
 
-// shard is one contiguous probe range [base, base+index.N()) with its own
-// index and the mutex that serializes retrieval calls on it.
+// shard is one probe partition: the current index version and the mutex
+// that serializes retrieval calls on any version of it.
 type shard struct {
 	mu    sync.Mutex
-	index *lemp.Index
-	base  int
+	index *lemp.Index // current version; pointer guarded by Sharded.mu
 }
 
 // NewSharded builds nShards LEMP indexes over contiguous slices of probe
-// (sharing its storage). Every shard receives the same options; shards
+// (sharing its storage), shard i indexing probes [i·n/S, (i+1)·n/S) under
+// their global ids 0..n-1. Every shard receives the same options; shards
 // differ in size by at most one probe.
 func NewSharded(probe *lemp.Matrix, nShards int, opts lemp.Options) (*Sharded, error) {
+	return NewShardedWithIDs(probe, nil, nShards, opts)
+}
+
+// NewShardedWithIDs is NewSharded with caller-chosen external probe ids
+// (ids[i] names probe column i; nil assigns 0..n-1). Re-sharding a
+// previously mutated catalog uses this so probe ids survive the rebuild
+// instead of being renumbered.
+func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.Options) (*Sharded, error) {
 	n := probe.N()
 	if nShards < 1 {
 		return nil, fmt.Errorf("server: shard count %d must be positive", nShards)
+	}
+	if ids != nil && len(ids) != n {
+		return nil, fmt.Errorf("server: %d probe ids for %d probes", len(ids), n)
 	}
 	if nShards > n {
 		nShards = n
@@ -53,37 +85,55 @@ func NewSharded(probe *lemp.Matrix, nShards int, opts lemp.Options) (*Sharded, e
 	if nShards == 0 {
 		return nil, fmt.Errorf("server: probe matrix is empty")
 	}
-	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards)}
+	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards), routes: make(map[int32]int, n)}
 	for i := range s.shards {
 		// Split [0,n) into nShards near-equal contiguous ranges.
 		lo, hi := i*n/nShards, (i+1)*n/nShards
-		ix, err := lemp.New(probe.Slice(lo, hi), opts)
+		shardIDs := make([]int32, hi-lo)
+		for j := range shardIDs {
+			if ids != nil {
+				shardIDs[j] = ids[lo+j]
+			} else {
+				shardIDs[j] = int32(lo + j)
+			}
+			s.routes[shardIDs[j]] = i
+			if shardIDs[j] >= s.nextID {
+				s.nextID = shardIDs[j] + 1
+			}
+		}
+		ix, err := lemp.NewWithIDs(probe.Slice(lo, hi), shardIDs, opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
 		}
-		s.shards[i] = &shard{index: ix, base: lo}
+		s.shards[i] = &shard{index: ix}
 	}
 	return s, nil
 }
 
 // NewShardedFromIndexes assembles a Sharded from pre-built indexes —
-// typically loaded from per-shard snapshots — in shard order: index i must
-// cover the probe range immediately after index i-1, exactly as NewSharded
-// partitioned them, so that the cumulative base offsets reconstruct the
-// global probe id space.
+// typically loaded from per-shard snapshots — in shard order. The indexes'
+// probe ids must be globally unique; they are adopted as the serving id
+// space. Empty shards are legal — probe updates can drain a shard, and its
+// snapshot must still restore (later adds refill it).
 func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
 	if len(ixs) == 0 {
 		return nil, fmt.Errorf("server: no shard indexes")
 	}
-	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs))}
+	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs)), routes: make(map[int32]int)}
 	for i, ix := range ixs {
 		if ix.R() != s.r {
 			return nil, fmt.Errorf("server: shard %d has dimension %d, shard 0 has %d", i, ix.R(), s.r)
 		}
-		if ix.N() == 0 {
-			return nil, fmt.Errorf("server: shard %d is empty", i)
+		for _, id := range ix.LiveIDs() {
+			if prev, dup := s.routes[id]; dup {
+				return nil, fmt.Errorf("server: probe id %d appears in shards %d and %d", id, prev, i)
+			}
+			s.routes[id] = i
 		}
-		s.shards[i] = &shard{index: ix, base: s.n}
+		if next := ix.NextID(); next > s.nextID {
+			s.nextID = next
+		}
+		s.shards[i] = &shard{index: ix}
 		s.n += ix.N()
 	}
 	return s, nil
@@ -105,10 +155,12 @@ func NewShardedFromSnapshot(snapshots []io.Reader, opts lemp.LoadOptions) (*Shar
 	return NewShardedFromIndexes(ixs)
 }
 
-// Indexes returns the per-shard indexes in shard order (base offsets are
-// cumulative N). Callers must not run retrievals on them while the Sharded
-// is serving.
+// Indexes returns the current per-shard indexes in shard order. Callers
+// must not run retrievals or mutations on them while the Sharded is
+// serving.
 func (s *Sharded) Indexes() []*lemp.Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*lemp.Index, len(s.shards))
 	for i, sh := range s.shards {
 		out[i] = sh.index
@@ -116,8 +168,12 @@ func (s *Sharded) Indexes() []*lemp.Index {
 	return out
 }
 
-// N returns the total number of probes across all shards.
-func (s *Sharded) N() int { return s.n }
+// N returns the current number of live probes across all shards.
+func (s *Sharded) N() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
 
 // R returns the vector dimension.
 func (s *Sharded) R() int { return s.r }
@@ -125,13 +181,50 @@ func (s *Sharded) R() int { return s.r }
 // NumShards returns the number of shards.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// Epoch returns the current update epoch: 0 at construction, +1 per
+// applied update batch.
+func (s *Sharded) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
 // CumulativeStats returns the accumulated core stats of every retrieval
 // call (all shards, all batches) since construction.
 func (s *Sharded) CumulativeStats() lemp.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.cum
 }
+
+// View is an immutable snapshot of the serving state at one epoch: all
+// retrievals through it see exactly the probe set of that epoch, even if
+// updates are applied concurrently. Views stay valid indefinitely (old
+// index versions are retained by the snapshot), but long-held views serve
+// increasingly stale data.
+type View struct {
+	s     *Sharded
+	epoch uint64
+	n     int
+	ixs   []*lemp.Index
+}
+
+// CurrentView snapshots the serving state at the current epoch.
+func (s *Sharded) CurrentView() *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := &View{s: s, epoch: s.epoch, n: s.n, ixs: make([]*lemp.Index, len(s.shards))}
+	for i, sh := range s.shards {
+		v.ixs[i] = sh.index
+	}
+	return v
+}
+
+// Epoch returns the update epoch the view was taken at.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// N returns the live probe count at the view's epoch.
+func (v *View) N() int { return v.n }
 
 // addShardStats merges one shard's per-call stats into the whole-call
 // total, with two deviations from Stats.Add. Shards are distinct indexes,
@@ -153,21 +246,23 @@ func addShardStats(dst *lemp.Stats, st lemp.Stats) {
 	dst.Queries = queries
 }
 
-// fanOut runs fn on every shard concurrently and accumulates the per-shard
-// stats; it returns the first error encountered.
-func (s *Sharded) fanOut(fn func(i int, sh *shard) (lemp.Stats, error)) (lemp.Stats, error) {
+// fanOut runs fn on every shard of the view concurrently and accumulates
+// the per-shard stats; it returns the first error encountered. The shard
+// mutex serializes retrieval across all index versions of a shard.
+func (v *View) fanOut(fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		call  lemp.Stats
 		first error
 	)
-	wg.Add(len(s.shards))
-	for i, sh := range s.shards {
-		go func(i int, sh *shard) {
+	wg.Add(len(v.ixs))
+	for i, ix := range v.ixs {
+		go func(i int, ix *lemp.Index) {
 			defer wg.Done()
+			sh := v.s.shards[i]
 			sh.mu.Lock()
-			st, err := fn(i, sh)
+			st, err := fn(i, ix)
 			sh.mu.Unlock()
 			mu.Lock()
 			addShardStats(&call, st)
@@ -175,28 +270,23 @@ func (s *Sharded) fanOut(fn func(i int, sh *shard) (lemp.Stats, error)) (lemp.St
 				first = err
 			}
 			mu.Unlock()
-		}(i, sh)
+		}(i, ix)
 	}
 	wg.Wait()
-	s.mu.Lock()
-	s.cum.Add(call)
-	s.mu.Unlock()
+	v.s.statsMu.Lock()
+	v.s.cum.Add(call)
+	v.s.statsMu.Unlock()
 	return call, first
 }
 
-// TopK answers Row-Top-k for a whole query matrix across all shards and
-// merges per-shard rows into global top-k rows (probe ids are global).
-func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
-	parts := make([]lemp.TopK, len(s.shards))
-	st, err := s.fanOut(func(i int, sh *shard) (lemp.Stats, error) {
-		top, stats, err := sh.index.RowTopK(q, k)
+// TopK answers Row-Top-k for a whole query matrix across all shards of the
+// view and merges per-shard rows into global top-k rows.
+func (v *View) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
+	parts := make([]lemp.TopK, len(v.ixs))
+	st, err := v.fanOut(func(i int, ix *lemp.Index) (lemp.Stats, error) {
+		top, stats, err := ix.RowTopK(q, k)
 		if err != nil {
 			return stats, err
-		}
-		for _, row := range top {
-			for j := range row {
-				row[j].Probe += sh.base
-			}
 		}
 		parts[i] = top
 		return stats, nil
@@ -207,21 +297,20 @@ func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
 	return lemp.MergeTopK(k, parts...), st, nil
 }
 
-// AboveTheta answers Above-θ for a whole query matrix across all shards,
-// concatenating per-shard result sets. Entries are returned grouped by
-// query in rows (row i holds query i's entries) in canonical (Query, Probe)
-// order, the grouping batching and caching work in.
-func (s *Sharded) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+// AboveTheta answers Above-θ for a whole query matrix across all shards of
+// the view, concatenating per-shard result sets. Entries are returned
+// grouped by query in rows (row i holds query i's entries) in canonical
+// (Query, Probe) order, the grouping batching and caching work in.
+func (v *View) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
 	rows := make([][]lemp.Entry, q.N())
 	var mu sync.Mutex
-	st, err := s.fanOut(func(_ int, sh *shard) (lemp.Stats, error) {
-		ents, stats, err := sh.index.AboveTheta(q, theta)
+	st, err := v.fanOut(func(_ int, ix *lemp.Index) (lemp.Stats, error) {
+		ents, stats, err := ix.AboveTheta(q, theta)
 		if err != nil {
 			return stats, err
 		}
 		mu.Lock()
 		for _, e := range ents {
-			e.Probe += sh.base
 			rows[e.Query] = append(rows[e.Query], e)
 		}
 		mu.Unlock()
@@ -234,4 +323,151 @@ func (s *Sharded) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lem
 		lemp.SortEntries(row)
 	}
 	return rows, st, nil
+}
+
+// TopK answers Row-Top-k at the current epoch. Callers that must pin
+// several operations to one epoch (cache keys, batches) should take a
+// CurrentView once and use it throughout.
+func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
+	return s.CurrentView().TopK(q, k)
+}
+
+// AboveTheta answers Above-θ at the current epoch.
+func (s *Sharded) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+	return s.CurrentView().AboveTheta(q, theta)
+}
+
+// UpdateResult reports an applied update batch.
+type UpdateResult struct {
+	Epoch uint64  // the epoch the batch created
+	IDs   []int32 // per-op affected ids (assigned ids for AutoID adds)
+	LiveN int     // live probes after the batch
+}
+
+// Update applies a batch of probe mutations atomically across all shards:
+// ops are routed to their owning shard (adds go to the currently smallest
+// shard), each affected shard derives a new index copy-on-write, and all
+// new indexes are swapped in under a single epoch increment — a query
+// View taken before the swap sees none of the batch, one taken after sees
+// all of it. On any validation error (unknown or duplicate id, dimension
+// mismatch, non-finite coordinate) nothing is changed.
+//
+// compactThreshold bounds per-shard delta mass: after applying the batch,
+// any shard whose DeltaMass exceeds it is re-bucketized before the swap
+// (negative disables compaction). Update calls serialize with each other
+// but not with queries: in-flight retrievals keep their views.
+func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (UpdateResult, error) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+
+	// Plan: route every op to a shard, tracking in-batch liveness changes
+	// in an overlay so ops within the batch compose (add then remove of
+	// the same id is legal).
+	cur := s.Indexes()
+	counts := make([]int, len(cur))
+	for i, ix := range cur {
+		counts[i] = ix.N()
+	}
+	overlay := make(map[int32]int) // id → shard, or -1 when removed in-batch
+	route := func(id int32) (int, bool) {
+		if sh, ok := overlay[id]; ok {
+			return sh, sh >= 0
+		}
+		sh, ok := s.routes[id]
+		return sh, ok
+	}
+	smallest := func() int {
+		best := 0
+		for i := 1; i < len(counts); i++ {
+			if counts[i] < counts[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	perShard := make([][]lemp.ProbeUpdate, len(cur))
+	nextID := s.nextID
+	ids := make([]int32, len(ups))
+	for i, up := range ups {
+		switch up.Op {
+		case lemp.OpAdd:
+			id := up.ID
+			if id == lemp.AutoID {
+				id = nextID
+				if id > lemp.MaxProbeID {
+					return UpdateResult{}, fmt.Errorf("server: update %d: probe id space exhausted", i)
+				}
+			} else if id < 0 || id > lemp.MaxProbeID {
+				return UpdateResult{}, fmt.Errorf("server: update %d: invalid probe id %d", i, id)
+			} else if _, live := route(id); live {
+				return UpdateResult{}, fmt.Errorf("server: update %d: probe id %d is already live", i, id)
+			}
+			if id >= nextID {
+				nextID = id + 1
+			}
+			sh := smallest()
+			perShard[sh] = append(perShard[sh], lemp.ProbeUpdate{Op: lemp.OpAdd, ID: id, Vec: up.Vec})
+			overlay[id] = sh
+			counts[sh]++
+			ids[i] = id
+		case lemp.OpRemove, lemp.OpUpdate:
+			sh, live := route(up.ID)
+			if !live {
+				return UpdateResult{}, fmt.Errorf("server: update %d: probe id %d is not live", i, up.ID)
+			}
+			perShard[sh] = append(perShard[sh], up)
+			if up.Op == lemp.OpRemove {
+				overlay[up.ID] = -1
+				counts[sh]--
+			}
+			ids[i] = up.ID
+		default:
+			return UpdateResult{}, fmt.Errorf("server: update %d: unknown op %d", i, int(up.Op))
+		}
+	}
+
+	// Derive the new index versions copy-on-write. Nothing is visible yet,
+	// so an error from any shard aborts the whole batch atomically.
+	newIxs := make([]*lemp.Index, len(cur))
+	changed := false
+	for i, ops := range perShard {
+		if len(ops) == 0 {
+			continue
+		}
+		nix, _, err := cur[i].WithUpdates(ops)
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		if compactThreshold >= 0 {
+			nix.MaybeCompact(compactThreshold)
+		}
+		newIxs[i] = nix
+		changed = true
+	}
+
+	// Commit: swap all affected shards under one epoch increment.
+	s.mu.Lock()
+	if changed {
+		for i, nix := range newIxs {
+			if nix != nil {
+				s.shards[i].index = nix
+			}
+		}
+		s.epoch++
+		s.n = 0
+		for _, sh := range s.shards {
+			s.n += sh.index.N()
+		}
+		for id, sh := range overlay {
+			if sh < 0 {
+				delete(s.routes, id)
+			} else {
+				s.routes[id] = sh
+			}
+		}
+		s.nextID = nextID
+	}
+	res := UpdateResult{Epoch: s.epoch, IDs: ids, LiveN: s.n}
+	s.mu.Unlock()
+	return res, nil
 }

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"math"
+	"net/http"
+
+	"lemp"
+)
+
+// The /v1/update endpoint applies a batch of probe mutations atomically:
+//
+//	POST /v1/update
+//	{"updates": [
+//	    {"op": "add", "vector": [...]},            // assigned id returned
+//	    {"op": "add", "id": 7, "vector": [...]},   // explicit id
+//	    {"op": "remove", "id": 3},
+//	    {"op": "update", "id": 2, "vector": [...]}
+//	]}
+//
+// The whole batch validates before anything is applied: an unknown or
+// duplicate id, a dimension mismatch, a non-finite coordinate, an unknown
+// op, an empty batch or an oversized one (Config.MaxUpdateOps) returns
+// 400 and leaves the probe set, the epoch and every cached result exactly
+// as they were. On success the response reports the new epoch, the live
+// probe count, and the per-op ids (assigned ids for adds without one).
+//
+// Consistency model: every applied batch advances the epoch by one.
+// Queries are pinned to the epoch snapshot taken at admission — responses
+// never mix pre- and post-update vectors — and cached rows are keyed by
+// epoch, so a mutation implicitly invalidates every cached result (stale
+// rows age out of the LRU; they are never served at a newer epoch).
+
+// updateRequest is the body of POST /v1/update.
+type updateRequest struct {
+	Updates []updateOp `json:"updates"`
+}
+
+// updateOp is one mutation. ID is a pointer so an absent id (auto-assign
+// on add) is distinguishable from id 0.
+type updateOp struct {
+	Op     string    `json:"op"`
+	ID     *int32    `json:"id"`
+	Vector []float64 `json:"vector"`
+}
+
+// updateResponse is the body of a successful update.
+type updateResponse struct {
+	Epoch      uint64  `json:"epoch"`
+	LiveProbes int     `json:"live_probes"`
+	IDs        []int32 `json:"ids"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "no updates in batch")
+		return
+	}
+	if s.cfg.MaxUpdateOps > 0 && len(req.Updates) > s.cfg.MaxUpdateOps {
+		httpError(w, http.StatusBadRequest, "update batch holds %d ops, limit is %d", len(req.Updates), s.cfg.MaxUpdateOps)
+		return
+	}
+	dim := s.sharded.R()
+	ups := make([]lemp.ProbeUpdate, len(req.Updates))
+	for i, op := range req.Updates {
+		var kind lemp.UpdateOp
+		switch op.Op {
+		case "add":
+			kind = lemp.OpAdd
+		case "remove":
+			kind = lemp.OpRemove
+		case "update":
+			kind = lemp.OpUpdate
+		default:
+			httpError(w, http.StatusBadRequest, "update %d: unknown op %q (want add, remove or update)", i, op.Op)
+			return
+		}
+		id := lemp.AutoID
+		if op.ID != nil {
+			id = *op.ID
+			if id < 0 {
+				httpError(w, http.StatusBadRequest, "update %d: invalid probe id %d", i, id)
+				return
+			}
+		} else if kind != lemp.OpAdd {
+			httpError(w, http.StatusBadRequest, "update %d: op %q needs an id", i, op.Op)
+			return
+		}
+		if kind == lemp.OpRemove {
+			if op.Vector != nil {
+				httpError(w, http.StatusBadRequest, "update %d: remove takes no vector", i)
+				return
+			}
+		} else {
+			if len(op.Vector) != dim {
+				httpError(w, http.StatusBadRequest, "update %d: vector has dimension %d, want %d", i, len(op.Vector), dim)
+				return
+			}
+			// Same door policy as queries: non-finite coordinates poison
+			// lengths and bucket bounds. The JSON decoder cannot produce
+			// them, but the core guard is mirrored here so any future
+			// transport hits it too.
+			for j, x := range op.Vector {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					httpError(w, http.StatusBadRequest, "update %d: coordinate %d is %v; coordinates must be finite", i, j, x)
+					return
+				}
+			}
+		}
+		ups[i] = lemp.ProbeUpdate{Op: kind, ID: id, Vec: op.Vector}
+	}
+	res, err := s.sharded.Update(ups, s.cfg.CompactFraction)
+	if err != nil {
+		// Every Update failure is a rejected batch (bad id, bad vector):
+		// client data, not server state.
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.updates.Add(1)
+	writeJSON(w, updateResponse{Epoch: res.Epoch, LiveProbes: res.LiveN, IDs: res.IDs})
+}

@@ -1,0 +1,670 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lemp"
+)
+
+// epochProbe builds an n-probe matrix whose vectors live in the positive
+// octant with unit length, so every inner product with a positive-octant
+// query is bounded away from zero — the scale factor applied by the test
+// updater is then recoverable from any result value.
+func epochProbe(rng *rand.Rand, r, n int) *lemp.Matrix {
+	p := lemp.NewMatrix(r, n)
+	for i := 0; i < n; i++ {
+		v := p.Vec(i)
+		var norm2 float64
+		for f := range v {
+			v[f] = 0.5 + 0.5*rng.Float64()
+			norm2 += v[f] * v[f]
+		}
+		norm := math.Sqrt(norm2)
+		for f := range v {
+			v[f] /= norm
+		}
+	}
+	return p
+}
+
+// postBody posts raw JSON and returns the status code and decoded body.
+func postBody(t testing.TB, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// getHealthz fetches /healthz.
+func getHealthz(t testing.TB, url string) (epoch uint64, probes int) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Epoch  uint64 `json:"epoch"`
+		Probes int    `json:"probes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Epoch, h.Probes
+}
+
+// TestUpdateEndToEnd: an applied update batch must change query results to
+// exactly those of a fresh index over the mutated probe set, advance the
+// epoch, and report assigned ids.
+func TestUpdateEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const r, n = 6, 60
+	p := epochProbe(rng, r, n)
+	srv, err := New(p, Config{Shards: 3, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	addVec := make([]float64, r)
+	addVec[0] = 3 // longer than every existing probe: must become top-1
+	upVec := make([]float64, r)
+	upVec[1] = 2.5
+	body, _ := json.Marshal(map[string]any{"updates": []map[string]any{
+		{"op": "add", "vector": addVec},
+		{"op": "remove", "id": 5},
+		{"op": "update", "id": 7, "vector": upVec},
+	}})
+	status, out := postBody(t, ts.URL+"/v1/update", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("update status %d: %v", status, out)
+	}
+	if out["epoch"].(float64) != 1 {
+		t.Fatalf("epoch %v, want 1", out["epoch"])
+	}
+	if out["live_probes"].(float64) != n {
+		t.Fatalf("live_probes %v, want %d", out["live_probes"], n)
+	}
+	ids := out["ids"].([]any)
+	if ids[0].(float64) != n {
+		t.Fatalf("assigned id %v, want %d", ids[0], n)
+	}
+
+	// Reference: fresh index over the mutated set, ids preserved.
+	mut := lemp.NewMatrix(r, n)
+	mutIDs := make([]int32, 0, n)
+	col := 0
+	for i := 0; i < n; i++ {
+		if i == 5 {
+			continue
+		}
+		src := p.Vec(i)
+		if i == 7 {
+			src = upVec
+		}
+		copy(mut.Vec(col), src)
+		mutIDs = append(mutIDs, int32(i))
+		col++
+	}
+	copy(mut.Vec(col), addVec)
+	mutIDs = append(mutIDs, int32(n))
+	ref, err := lemp.NewWithIDs(mut, mutIDs, lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := epochProbe(rng, r, 3)
+	var resp struct {
+		Results [][]struct {
+			Probe int     `json:"probe"`
+			Value float64 `json:"value"`
+		} `json:"results"`
+	}
+	queries := [][]float64{q.Vec(0), q.Vec(1), q.Vec(2)}
+	buf, _ := json.Marshal(map[string]any{"queries": queries, "k": 4})
+	status, _ = postBody(t, ts.URL+"/v1/topk", string(buf))
+	if status != http.StatusOK {
+		t.Fatalf("topk status %d", status)
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	want, _, err := ref.RowTopK(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if len(resp.Results[i]) != len(want[i]) {
+			t.Fatalf("query %d: %d entries, want %d", i, len(resp.Results[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if resp.Results[i][j].Probe != want[i][j].Probe || resp.Results[i][j].Value != want[i][j].Value {
+				t.Fatalf("query %d entry %d: got %+v, want %+v", i, j, resp.Results[i][j], want[i][j])
+			}
+		}
+	}
+	if resp.Results[0][0].Probe != n {
+		t.Fatalf("added probe %d not top-1 (got probe %d)", n, resp.Results[0][0].Probe)
+	}
+}
+
+// TestUpdateHandlerRejects: every malformed batch must 400 and leave the
+// probe set, the epoch, and query results untouched.
+func TestUpdateHandlerRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const r, n = 4, 40
+	p := epochProbe(rng, r, n)
+	srv, err := New(p, Config{Shards: 2, MaxUpdateOps: 4, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	qv, _ := json.Marshal([][]float64{p.Vec(0)})
+	refBody := fmt.Sprintf(`{"queries": %s, "k": 3}`, qv)
+	_, refBefore := postBody(t, ts.URL+"/v1/topk", refBody)
+
+	epoch0, probes0 := getHealthz(t, ts.URL)
+	bad := []struct {
+		name, body string
+	}{
+		{"empty batch", `{"updates": []}`},
+		{"no body field", `{}`},
+		{"NaN coordinate", `{"updates": [{"op": "add", "vector": [NaN, 1, 1, 1]}]}`},
+		{"Infinity coordinate", `{"updates": [{"op": "add", "vector": [Infinity, 1, 1, 1]}]}`},
+		{"overflow coordinate", `{"updates": [{"op": "add", "vector": [1e999, 1, 1, 1]}]}`},
+		{"dimension short", `{"updates": [{"op": "add", "vector": [1, 2]}]}`},
+		{"dimension long", `{"updates": [{"op": "add", "vector": [1, 2, 3, 4, 5]}]}`},
+		{"duplicate live id", `{"updates": [{"op": "add", "id": 3, "vector": [1, 1, 1, 1]}]}`},
+		{"duplicate in batch", `{"updates": [{"op": "add", "id": 77, "vector": [1, 1, 1, 1]}, {"op": "add", "id": 77, "vector": [1, 1, 1, 1]}]}`},
+		{"unknown remove", `{"updates": [{"op": "remove", "id": 999}]}`},
+		{"unknown update", `{"updates": [{"op": "update", "id": 999, "vector": [1, 1, 1, 1]}]}`},
+		{"negative id", `{"updates": [{"op": "add", "id": -2, "vector": [1, 1, 1, 1]}]}`},
+		{"missing id", `{"updates": [{"op": "remove"}]}`},
+		{"unknown op", `{"updates": [{"op": "upsert", "id": 1, "vector": [1, 1, 1, 1]}]}`},
+		{"remove with vector", `{"updates": [{"op": "remove", "id": 1, "vector": [1, 1, 1, 1]}]}`},
+		{"oversized batch", `{"updates": [` + strings.Repeat(`{"op": "remove", "id": 1},`, 4) + `{"op": "remove", "id": 2}]}`},
+		{"atomicity: valid then invalid", `{"updates": [{"op": "remove", "id": 1}, {"op": "remove", "id": 999}]}`},
+		{"malformed JSON", `{"updates": [`},
+	}
+	for _, tc := range bad {
+		status, out := postBody(t, ts.URL+"/v1/update", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", tc.name, status, out)
+		}
+		epoch, probes := getHealthz(t, ts.URL)
+		if epoch != epoch0 || probes != probes0 {
+			t.Fatalf("%s: rejected batch mutated state (epoch %d→%d, probes %d→%d)",
+				tc.name, epoch0, epoch, probes0, probes)
+		}
+	}
+	_, refAfter := postBody(t, ts.URL+"/v1/topk", refBody)
+	if fmt.Sprint(refBefore) != fmt.Sprint(refAfter) {
+		t.Fatalf("query results changed after rejected batches:\nbefore %v\nafter  %v", refBefore, refAfter)
+	}
+}
+
+// FuzzUpdateHandler throws arbitrary JSON at /v1/update: the handler must
+// never panic, and any non-200 response must leave the server's epoch and
+// probe count untouched.
+func FuzzUpdateHandler(f *testing.F) {
+	f.Add(`{"updates": [{"op": "add", "vector": [1, 1, 1, 1]}]}`)
+	f.Add(`{"updates": [{"op": "remove", "id": 0}]}`)
+	f.Add(`{"updates": [{"op": "update", "id": 1, "vector": [0.5, 0, 0, 0]}]}`)
+	f.Add(`{"updates": [{"op": "add", "vector": [NaN, 1, 1, 1]}]}`)
+	f.Add(`{"updates": [{"op": "add", "id": -1, "vector": [1, 1, 1, 1]}]}`)
+	f.Add(`{"updates": [{"op": "add", "id": 1000000, "vector": [1e308, 1e308, 1, 1]}]}`)
+	f.Add(`{"updates": [{"op": "remove", "id": 4}, {"op": "remove", "id": 4}]}`)
+	f.Add(`{"updates": null}`)
+	f.Add(`[1, 2, 3]`)
+	f.Add(`{"updates": [{"op": "add", "vector": []}]}`)
+
+	rng := rand.New(rand.NewSource(17))
+	const r, n = 4, 16
+	probe := epochProbe(rng, r, n)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		srv, err := New(probe.Clone(), Config{Shards: 2, MaxUpdateOps: 64, Options: lemp.Options{Parallelism: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := srv.sharded.CurrentView()
+		req := httptest.NewRequest("POST", "/v1/update", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		after := srv.sharded.CurrentView()
+		switch rec.Code {
+		case http.StatusOK:
+			if after.Epoch() != before.Epoch()+1 {
+				t.Fatalf("200 response but epoch %d → %d", before.Epoch(), after.Epoch())
+			}
+		default:
+			if after.Epoch() != before.Epoch() || after.N() != before.N() {
+				t.Fatalf("status %d mutated state (epoch %d→%d, probes %d→%d)",
+					rec.Code, before.Epoch(), after.Epoch(), before.N(), after.N())
+			}
+		}
+	})
+}
+
+// TestEpochConsistencyUnderRace is the update/query race test: an updater
+// rescales every probe per batch while readers hammer /v1/topk and
+// /v1/above through the batcher and cache. Every probe's value under a
+// query recovers the scale factor (probes and queries live in the positive
+// octant), so a response mixing two epochs is detectable: all entries of a
+// response must imply the same scale. Run under -race in CI.
+func TestEpochConsistencyUnderRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const r, n, epochs, readers = 3, 24, 25, 4
+	base := epochProbe(rng, r, n)
+	srv, err := New(base.Clone(), Config{
+		Shards:       3,
+		Options:      lemp.Options{Parallelism: 1},
+		BatchWindow:  200 * time.Microsecond,
+		BatchMax:     8,
+		CacheEntries: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A small fixed query pool so cache hits happen across epochs.
+	queries := make([][]float64, 6)
+	qm := epochProbe(rng, r, len(queries))
+	for i := range queries {
+		queries[i] = qm.Vec(i)
+	}
+	dots := make([][]float64, len(queries)) // dots[qi][probe] at scale 1
+	for qi, qv := range queries {
+		dots[qi] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			var d float64
+			for f := 0; f < r; f++ {
+				d += qv[f] * base.Vec(i)[f]
+			}
+			dots[qi][i] = d
+		}
+	}
+
+	// checkRows infers the scale from every entry of a response and fails
+	// on any disagreement — a mixed-epoch response.
+	checkRows := func(tag string, qis []int, rows [][]struct {
+		Probe int     `json:"probe"`
+		Value float64 `json:"value"`
+	}) error {
+		scale := -1.0
+		for ri, row := range rows {
+			if len(row) != n {
+				return fmt.Errorf("%s: row %d has %d entries, want %d", tag, ri, len(row), n)
+			}
+			for _, e := range row {
+				if e.Probe < 0 || e.Probe >= n {
+					return fmt.Errorf("%s: probe %d out of range", tag, e.Probe)
+				}
+				s := e.Value / dots[qis[ri]][e.Probe]
+				if scale < 0 {
+					scale = s
+				} else if math.Abs(s-scale) > 1e-9*scale {
+					return fmt.Errorf("%s: mixed epochs in one response: scales %v and %v", tag, scale, s)
+				}
+			}
+		}
+		round := math.Round(scale)
+		if round < 1 || round > epochs+1 || math.Abs(scale-round) > 1e-9*round {
+			return fmt.Errorf("%s: implied scale %v is not a whole epoch", tag, scale)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, readers+1)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qis := []int{lrng.Intn(len(queries)), lrng.Intn(len(queries))}
+				body := map[string]any{"queries": [][]float64{queries[qis[0]], queries[qis[1]]}}
+				var path, tag string
+				if lrng.Intn(2) == 0 {
+					body["k"] = n + 10 // clamped to live n: every probe returned
+					path, tag = "/v1/topk", "topk"
+				} else {
+					body["theta"] = 0.01 // below every value: every probe returned
+					path, tag = "/v1/above", "above"
+				}
+				buf, _ := json.Marshal(body)
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out struct {
+					Results [][]struct {
+						Probe int     `json:"probe"`
+						Value float64 `json:"value"`
+					} `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := checkRows(tag, qis, out.Results); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Updater: at batch e, every probe's vector becomes base × (e+1).
+	for e := 1; e <= epochs; e++ {
+		ops := make([]map[string]any, n)
+		for i := 0; i < n; i++ {
+			v := make([]float64, r)
+			for f := 0; f < r; f++ {
+				v[f] = base.Vec(i)[f] * float64(e+1)
+			}
+			ops[i] = map[string]any{"op": "update", "id": i, "vector": v}
+		}
+		buf, _ := json.Marshal(map[string]any{"updates": ops})
+		status, out := postBody(t, ts.URL+"/v1/update", string(buf))
+		if status != http.StatusOK {
+			t.Fatalf("update batch %d: status %d: %v", e, status, out)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	epoch, probes := getHealthz(t, ts.URL)
+	if epoch != epochs || probes != n {
+		t.Fatalf("final epoch %d probes %d, want %d and %d", epoch, probes, epochs, n)
+	}
+}
+
+// TestCacheEpochInvalidation: a cached row must never be served once a
+// mutation advanced the epoch — including through the LRU entry-accounting
+// path, where stale-epoch rows still occupy and then vacate capacity.
+func TestCacheEpochInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const r, n = 4, 30
+	p := epochProbe(rng, r, n)
+	srv, err := New(p.Clone(), Config{Shards: 2, CacheEntries: 64, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	query := p.Vec(3)
+	body, _ := json.Marshal(map[string]any{"queries": [][]float64{query}, "k": 2})
+	fetch := func() []float64 {
+		resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Results [][]struct {
+				Probe int     `json:"probe"`
+				Value float64 `json:"value"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, 0, 2)
+		for _, e := range out.Results[0] {
+			vals = append(vals, e.Value)
+		}
+		return vals
+	}
+
+	before := fetch()
+	if hits := srv.cache.Hits(); hits != 0 {
+		t.Fatalf("cold cache reported %d hits", hits)
+	}
+	again := fetch()
+	if srv.cache.Hits() != 1 {
+		t.Fatalf("identical repeat did not hit the cache (hits %d)", srv.cache.Hits())
+	}
+	if fmt.Sprint(before) != fmt.Sprint(again) {
+		t.Fatalf("cache hit returned different values: %v vs %v", before, again)
+	}
+	rowsAtEpoch0 := srv.cache.Len()
+	if rowsAtEpoch0 == 0 {
+		t.Fatal("nothing cached")
+	}
+
+	// Mutate: double every probe. The cached row's values are now wrong
+	// for the live probe set; the epoch key must make it unreachable.
+	ops := make([]map[string]any, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, r)
+		for f := 0; f < r; f++ {
+			v[f] = p.Vec(i)[f] * 2
+		}
+		ops[i] = map[string]any{"op": "update", "id": i, "vector": v}
+	}
+	upd, _ := json.Marshal(map[string]any{"updates": ops})
+	if status, out := postBody(t, ts.URL+"/v1/update", string(upd)); status != http.StatusOK {
+		t.Fatalf("update: %d %v", status, out)
+	}
+
+	hitsBefore := srv.cache.Hits()
+	after := fetch()
+	if srv.cache.Hits() != hitsBefore {
+		t.Fatalf("post-update fetch hit the stale cache entry")
+	}
+	for i := range after {
+		if math.Abs(after[i]-2*before[i]) > 1e-9*math.Abs(after[i]) {
+			t.Fatalf("post-update values %v, want 2× %v", after, before)
+		}
+	}
+	// Both epochs' rows coexist under LRU accounting until eviction.
+	if srv.cache.Len() != rowsAtEpoch0+1 {
+		t.Fatalf("cache rows %d, want %d (stale row retained, new row added)", srv.cache.Len(), rowsAtEpoch0+1)
+	}
+}
+
+// TestCacheKeyEpochUnitAndAccounting pins the key-level property (same
+// query, different epoch → different key) and the entry accounting while
+// stale-epoch rows are evicted by fresh-epoch inserts.
+func TestCacheKeyEpochUnitAndAccounting(t *testing.T) {
+	vec := []float64{1, 2, 3}
+	k0 := cacheKey(batchKey{topk: true, k: 5, epoch: 0}, vec)
+	k1 := cacheKey(batchKey{topk: true, k: 5, epoch: 1}, vec)
+	if k0 == k1 {
+		t.Fatal("cache keys collide across epochs")
+	}
+
+	c := NewCache(10)
+	row := []lemp.Entry{{Probe: 1, Value: 2}, {Probe: 2, Value: 1}} // weight 2
+	for i := 0; i < 5; i++ {
+		c.Put(cacheKey(batchKey{topk: true, k: 5, epoch: 0}, []float64{float64(i)}), row)
+	}
+	if c.Entries() != 10 || c.Len() != 5 {
+		t.Fatalf("entries %d rows %d, want 10 and 5", c.Entries(), c.Len())
+	}
+	// Epoch bump: same queries re-cached under new keys evict the stale
+	// rows one by one; the weight accounting must stay exact.
+	for i := 0; i < 5; i++ {
+		c.Put(cacheKey(batchKey{topk: true, k: 5, epoch: 1}, []float64{float64(i)}), row)
+		if c.Entries() > 10 {
+			t.Fatalf("entry accounting exceeded capacity: %d", c.Entries())
+		}
+	}
+	if c.Entries() != 10 || c.Len() != 5 {
+		t.Fatalf("after epoch churn: entries %d rows %d, want 10 and 5", c.Entries(), c.Len())
+	}
+	// Every stale-epoch key must now be gone (evicted), every fresh one
+	// present.
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get(cacheKey(batchKey{topk: true, k: 5, epoch: 0}, []float64{float64(i)})); ok {
+			t.Fatalf("stale epoch-0 row %d still served", i)
+		}
+		if _, ok := c.Get(cacheKey(batchKey{topk: true, k: 5, epoch: 1}, []float64{float64(i)})); !ok {
+			t.Fatalf("fresh epoch-1 row %d missing", i)
+		}
+	}
+}
+
+// TestReshardPreservesMutatedIDs: rebuilding a server from a mutated
+// (compacted) index must keep the catalog's external ids — a re-shard
+// must never silently renumber probes.
+func TestReshardPreservesMutatedIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const r, n = 4, 30
+	p := epochProbe(rng, r, n)
+	ix, err := lemp.New(p.Clone(), lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := make([]float64, r)
+	marker[0] = 5
+	if _, err := ix.ApplyUpdates([]lemp.ProbeUpdate{
+		{Op: lemp.OpRemove, ID: 3},
+		{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: marker}, // id n
+		{Op: lemp.OpUpdate, ID: 9, Vec: marker},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithIDs(loaded.Probe(), loaded.ProbeIDs(), Config{Shards: 3, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	epoch, probes := getHealthz(t, ts.URL)
+	if epoch != 0 || probes != n {
+		t.Fatalf("restored epoch %d probes %d, want 0 and %d", epoch, probes, n)
+	}
+	// id 3 must still be dead: re-adding succeeds, removing first fails.
+	if status, _ := postBody(t, ts.URL+"/v1/update", `{"updates": [{"op": "remove", "id": 3}]}`); status != http.StatusBadRequest {
+		t.Fatalf("removed id 3 still live after re-shard (status %d)", status)
+	}
+	// The marker vector must be addressable under its original ids.
+	q, _ := json.Marshal(map[string]any{"queries": [][]float64{marker}, "k": 2})
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Results [][]struct {
+			Probe int     `json:"probe"`
+			Value float64 `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := []int{out.Results[0][0].Probe, out.Results[0][1].Probe}
+	if !(got[0] == 9 && got[1] == int(n) || got[0] == int(n) && got[1] == 9) {
+		t.Fatalf("marker probes %v after re-shard, want {9, %d}", got, n)
+	}
+}
+
+// TestEmptyShardSnapshotRestores: updates can drain a shard completely;
+// its snapshot must still restore and later adds must refill it.
+func TestEmptyShardSnapshotRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const r, n = 4, 4
+	p := epochProbe(rng, r, n)
+	srv, err := New(p.Clone(), Config{Shards: 2, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1 holds ids 2 and 3; removing both drains it.
+	if _, err := srv.Sharded().Update([]lemp.ProbeUpdate{
+		{Op: lemp.OpRemove, ID: 2},
+		{Op: lemp.OpRemove, ID: 3},
+	}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	var bufs []*bytes.Buffer
+	err = srv.WriteSnapshots(func(i, n int) (io.WriteCloser, error) {
+		bufs = append(bufs, &bytes.Buffer{})
+		return nopWriteCloser{bufs[i]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, len(bufs))
+	for i, b := range bufs {
+		readers[i] = bytes.NewReader(b.Bytes())
+	}
+	restored, err := NewFromSnapshot(readers, Config{Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatalf("restore with an emptied shard: %v", err)
+	}
+	if restored.Sharded().N() != 2 {
+		t.Fatalf("restored %d probes, want 2", restored.Sharded().N())
+	}
+	// Adds go to the smallest shard — the empty one — and serve.
+	res, err := restored.Sharded().Update([]lemp.ProbeUpdate{
+		{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: p.Vec(0)},
+	}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveN != 3 {
+		t.Fatalf("LiveN %d after refill, want 3", res.LiveN)
+	}
+	q, _ := lemp.MatrixFromData(r, 1, append([]float64(nil), p.Vec(0)...))
+	top, _, err := restored.Sharded().TopK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top[0]) != 3 {
+		t.Fatalf("query after refill returned %d entries, want 3", len(top[0]))
+	}
+}

@@ -24,8 +24,22 @@
 //	        normalized directions)
 //	"END\0" zero-length terminator
 //
+// Version 2 adds two optional sections between PROB and BUKT, carrying the
+// external-id state of a mutated (dynamically updated) index. Mutated
+// indexes are compacted on save — the delta layer folds into a fresh
+// bucketization with ids preserved — so the sections are small and the
+// BUKT layout stays identical:
+//
+//	"PIDS"  probe column → external id (n × int32), present when the ids
+//	        are not the column numbers
+//	"MUTA"  mutation epoch (uint64) and next AutoID assignment (int64),
+//	        present when either differs from its derived default
+//
+// A writer emits version 1 whenever neither section is needed, so
+// never-mutated snapshots stay byte-compatible with version-1 readers.
+//
 // Unknown sections are skipped (their checksum still verified), so later
-// versions can append sections without breaking version-1 readers. A reader
+// versions can append sections without breaking older readers. A reader
 // fails loudly — never silently serves wrong results — on a bad magic, an
 // unsupported version, a checksum mismatch, a truncated stream, or any
 // structural inconsistency; allocation while reading is always bounded by
@@ -53,12 +67,18 @@ import (
 // Magic identifies a LEMPIDX1 snapshot stream.
 const Magic = "LEMPIDX1"
 
-// Version is the current (and only) format version.
-const Version = 1
+// Version is the base format version; VersionIDs is emitted when the
+// external-id sections (PIDS/MUTA) are present.
+const (
+	Version    = 1
+	VersionIDs = 2
+)
 
 var (
 	tagOptions = [4]byte{'O', 'P', 'T', 'S'}
 	tagProbe   = [4]byte{'P', 'R', 'O', 'B'}
+	tagIDs     = [4]byte{'P', 'I', 'D', 'S'}
+	tagMuta    = [4]byte{'M', 'U', 'T', 'A'}
 	tagBuckets = [4]byte{'B', 'U', 'K', 'T'}
 	tagEnd     = [4]byte{'E', 'N', 'D', 0}
 )
@@ -73,17 +93,38 @@ const (
 // one byte.
 const optionsLen = 4 + 10*8 + 1
 
-// Write serializes st in the LEMPIDX1 format.
+// defaultNextID is the NextID value a state would derive on load anyway,
+// which therefore does not need a MUTA section.
+func defaultNextID(st *core.State) int32 {
+	if st.IDs == nil {
+		return int32(st.Probe.N())
+	}
+	next := int32(0)
+	for _, id := range st.IDs {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	return next
+}
+
+// Write serializes st in the LEMPIDX1 format, choosing version 1 or 2 by
+// whether external-id state must be recorded.
 func Write(w io.Writer, st *core.State) error {
 	if st.Probe == nil {
 		return fmt.Errorf("snapshot: state has no probe matrix")
+	}
+	writeMuta := st.Epoch != 0 || st.NextID != defaultNextID(st)
+	version := uint32(Version)
+	if st.IDs != nil || writeMuta {
+		version = VersionIDs
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
 		return err
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
 	binary.LittleEndian.PutUint32(hdr[4:8], 0)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
@@ -98,6 +139,24 @@ func Write(w io.Writer, st *core.State) error {
 		return writeProbe(w, st.Probe)
 	}); err != nil {
 		return err
+	}
+	if st.IDs != nil {
+		if err := writeSection(bw, tagIDs, 4*uint64(len(st.IDs)), func(w io.Writer) error {
+			return matrix.WriteInt32s(w, st.IDs)
+		}); err != nil {
+			return err
+		}
+	}
+	if writeMuta {
+		if err := writeSection(bw, tagMuta, 16, func(w io.Writer) error {
+			var buf [16]byte
+			binary.LittleEndian.PutUint64(buf[0:8], st.Epoch)
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(st.NextID)))
+			_, err := w.Write(buf[:])
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	bucketsLen := uint64(5)
 	r := uint64(st.Probe.R())
@@ -219,14 +278,14 @@ func Read(r io.Reader) (*core.State, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version && v != VersionIDs {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d and %d)", v, Version, VersionIDs)
 	}
 	if rsv := binary.LittleEndian.Uint32(hdr[4:8]); rsv != 0 {
 		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
 	}
 	st := &core.State{}
-	var haveOpts, haveProbe, haveBuckets bool
+	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta bool
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(br, tag[:]); err != nil {
@@ -251,6 +310,29 @@ func Read(r io.Reader) (*core.State, error) {
 			}
 			haveProbe = true
 			st.Probe, err = readProbe(sr)
+		case tagIDs:
+			if haveIDs {
+				return nil, fmt.Errorf("snapshot: duplicate PIDS section")
+			}
+			if !haveProbe {
+				return nil, fmt.Errorf("snapshot: PIDS section before PROB")
+			}
+			haveIDs = true
+			st.IDs, err = matrix.ReadInt32s(sr, st.Probe.N())
+		case tagMuta:
+			if haveMuta {
+				return nil, fmt.Errorf("snapshot: duplicate MUTA section")
+			}
+			haveMuta = true
+			var buf [16]byte
+			if _, err = io.ReadFull(sr, buf[:]); err == nil {
+				st.Epoch = binary.LittleEndian.Uint64(buf[0:8])
+				next := int64(binary.LittleEndian.Uint64(buf[8:16]))
+				if next < 0 || next > maxProbes {
+					return nil, fmt.Errorf("snapshot: implausible next probe id %d", next)
+				}
+				st.NextID = int32(next)
+			}
 		case tagBuckets:
 			if haveBuckets {
 				return nil, fmt.Errorf("snapshot: duplicate BUKT section")

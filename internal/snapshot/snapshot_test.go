@@ -80,7 +80,7 @@ func TestReadRejectsBadMagicAndVersion(t *testing.T) {
 		t.Error("matrix magic accepted as a snapshot")
 	}
 	bad := append([]byte(nil), raw...)
-	binary.LittleEndian.PutUint32(bad[8:12], 2)
+	binary.LittleEndian.PutUint32(bad[8:12], VersionIDs+1)
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("future format version accepted")
 	}

@@ -1,0 +1,123 @@
+package lemp
+
+import (
+	"lemp/internal/core"
+)
+
+// Dynamic probe updates. An Index is no longer frozen at build time: probes
+// can be added, removed and replaced by stable external id, with small
+// changes absorbed by a cheap delta layer (per-index overlay buckets plus a
+// tombstone set, scanned alongside the main buckets) and accumulated drift
+// folded back into a full re-bucketization by Compact. Results remain
+// exact after any mutation sequence: a mutated index answers queries
+// identically to an index freshly built over the same live probe set.
+//
+// Concurrency: mutation calls follow the same contract as retrieval — one
+// call at a time per Index. Serving layers that must keep answering
+// queries while updates land use WithUpdates to derive a new index
+// copy-on-write and swap it in atomically; see internal/server.
+
+// ProbeUpdate is one mutation of the probe set: an OpAdd, OpRemove or
+// OpUpdate addressed by external probe id.
+type ProbeUpdate = core.ProbeUpdate
+
+// UpdateOp is the kind of a ProbeUpdate.
+type UpdateOp = core.UpdateOp
+
+// Probe mutation kinds.
+const (
+	// OpAdd inserts a new probe (ID AutoID assigns the next free id).
+	OpAdd = core.OpAdd
+	// OpRemove deletes a live probe by id.
+	OpRemove = core.OpRemove
+	// OpUpdate replaces a live probe's vector, keeping its id.
+	OpUpdate = core.OpUpdate
+)
+
+// AutoID, as the ID of an OpAdd, lets the index assign the next free id.
+const AutoID = core.AutoID
+
+// MaxProbeID is the largest assignable external probe id.
+const MaxProbeID = core.MaxProbeID
+
+// NewWithIDs is New with caller-chosen external probe ids: ids[i] names
+// probe vector i in every result and mutation. ids must be unique and
+// non-negative; nil assigns 0..n-1. Shards of a partitioned catalog use
+// this to index directly in the global id space.
+func NewWithIDs(probe *Matrix, ids []int32, opts Options) (*Index, error) {
+	inner, err := core.NewIndexWithIDs(probe, ids, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// ApplyUpdates performs a batch of probe mutations atomically: the index
+// is untouched unless every op validates, and the epoch advances once per
+// successful batch. The returned slice holds each op's affected id (the
+// assigned id for AutoID adds). Must not run concurrently with retrieval
+// or other mutations on this index.
+func (ix *Index) ApplyUpdates(ups []ProbeUpdate) ([]int32, error) {
+	return ix.inner.Apply(ups)
+}
+
+// WithUpdates derives a new index with the batch applied, leaving the
+// receiver untouched: the two share the immutable main structure
+// (copy-on-write), so derivation costs only the delta work. Retrieval
+// calls on the two indexes must still be serialized against each other —
+// they share main-bucket tuning state and lazy per-bucket indexes.
+func (ix *Index) WithUpdates(ups []ProbeUpdate) (*Index, []int32, error) {
+	inner, ids, err := ix.inner.WithUpdates(ups)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Index{inner: inner}, ids, nil
+}
+
+// AddProbe inserts a new probe vector and returns its assigned id.
+func (ix *Index) AddProbe(vec []float64) (int32, error) { return ix.inner.AddProbe(vec) }
+
+// AddProbeWithID inserts a new probe vector under the caller's id, which
+// must not be live.
+func (ix *Index) AddProbeWithID(id int32, vec []float64) error {
+	return ix.inner.AddProbeWithID(id, vec)
+}
+
+// RemoveProbe deletes the live probe with the given id.
+func (ix *Index) RemoveProbe(id int32) error { return ix.inner.RemoveProbe(id) }
+
+// UpdateProbe replaces the vector of the live probe with the given id.
+func (ix *Index) UpdateProbe(id int32, vec []float64) error {
+	return ix.inner.UpdateProbe(id, vec)
+}
+
+// Epoch returns the index's mutation epoch: 0 at build, +1 per applied
+// update batch. Compaction does not advance it (results are unchanged).
+func (ix *Index) Epoch() uint64 { return ix.inner.Epoch() }
+
+// NextID returns the id the next AutoID add would receive.
+func (ix *Index) NextID() int32 { return ix.inner.NextID() }
+
+// LiveIDs returns the external ids of all live probes in ascending order.
+func (ix *Index) LiveIDs() []int32 { return ix.inner.LiveIDs() }
+
+// ProbeIDs returns the external ids of the Probe() matrix's columns, in
+// column order, or nil when the ids are the column numbers themselves.
+// Delta-layer mutations are not reflected — Compact first (snapshot-loaded
+// indexes are always compacted). Re-sharding uses this to rebuild shards
+// without renumbering the catalog.
+func (ix *Index) ProbeIDs() []int32 { return ix.inner.ProbeIDs() }
+
+// DeltaMass reports accumulated mutation drift: (tombstones + overlay
+// vectors) / live probes. See MaybeCompact.
+func (ix *Index) DeltaMass() float64 { return ix.inner.DeltaMass() }
+
+// Compact folds the delta layer into a fresh bucketization over the live
+// probe set (ids preserved), restoring full pruning effectiveness. Results
+// before and after are identical. Same concurrency contract as
+// ApplyUpdates.
+func (ix *Index) Compact() { ix.inner.Compact() }
+
+// MaybeCompact compacts when DeltaMass exceeds the threshold, reporting
+// whether it did.
+func (ix *Index) MaybeCompact(threshold float64) bool { return ix.inner.MaybeCompact(threshold) }

@@ -1,0 +1,164 @@
+package lemp_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+// sortTopRow orders one top-k row canonically for comparison.
+func sortTopRow(row []lemp.Entry) {
+	sort.Slice(row, func(a, b int) bool {
+		if row[a].Value != row[b].Value {
+			return row[a].Value > row[b].Value
+		}
+		return row[a].Probe < row[b].Probe
+	})
+}
+
+// mutateSmoke applies a deterministic batch of adds, removes and updates.
+func mutateSmoke(t *testing.T, ix *lemp.Index, r int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	vec := func() []float64 {
+		v := make([]float64, r)
+		for f := range v {
+			v[f] = rng.NormFloat64()
+		}
+		return v
+	}
+	ups := []lemp.ProbeUpdate{
+		{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: vec()},
+		{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: vec()},
+		{Op: lemp.OpRemove, ID: 3},
+		{Op: lemp.OpRemove, ID: 250},
+		{Op: lemp.OpUpdate, ID: 10, Vec: vec()},
+		{Op: lemp.OpUpdate, ID: 501, Vec: vec()},
+	}
+	if _, err := ix.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ApplyUpdates([]lemp.ProbeUpdate{
+		{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: vec()},
+		{Op: lemp.OpRemove, ID: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutatedSnapshotRoundTrip: a snapshot of a mutated index (compacted
+// on save) must load into an index with byte-identical results, preserved
+// external ids, and a continued epoch / id sequence.
+func TestMutatedSnapshotRoundTrip(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	ix, err := lemp.New(p, lemp.Options{TuneByCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateSmoke(t, ix, p.R())
+
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lemp.LoadIndex(bytes.NewReader(buf.Bytes()), lemp.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := loaded.N(), ix.N(); got != want {
+		t.Fatalf("loaded N %d, want %d", got, want)
+	}
+	if got, want := loaded.Epoch(), ix.Epoch(); got != want {
+		t.Fatalf("loaded epoch %d, want %d", got, want)
+	}
+	if got, want := loaded.NextID(), ix.NextID(); got != want {
+		t.Fatalf("loaded NextID %d, want %d", got, want)
+	}
+	gotIDs, wantIDs := loaded.LiveIDs(), ix.LiveIDs()
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("loaded %d live ids, want %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("live id %d: got %d, want %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+
+	const k = 9
+	wantTop, _, err := ix.RowTopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, _, err := loaded.RowTopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantTop {
+		sortTopRow(wantTop[i])
+		sortTopRow(gotTop[i])
+		if len(gotTop[i]) != len(wantTop[i]) {
+			t.Fatalf("query %d: %d entries, want %d", i, len(gotTop[i]), len(wantTop[i]))
+		}
+		for j := range wantTop[i] {
+			if gotTop[i][j].Probe != wantTop[i][j].Probe || gotTop[i][j].Value != wantTop[i][j].Value {
+				t.Fatalf("query %d entry %d: got %+v, want %+v", i, j, gotTop[i][j], wantTop[i][j])
+			}
+		}
+	}
+	theta := 1.0
+	want, _, err := ix.AboveTheta(q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.AboveTheta(q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lemp.SortEntries(want)
+	lemp.SortEntries(got)
+	if len(got) != len(want) {
+		t.Fatalf("above-θ: %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("above-θ entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// The loaded index must keep mutating correctly from where the
+	// original left off.
+	id, err := loaded.AddProbe(make([]float64, p.R()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ix.NextID() {
+		t.Fatalf("post-load add assigned id %d, want %d", id, ix.NextID())
+	}
+	if loaded.Epoch() != ix.Epoch()+1 {
+		t.Fatalf("post-load epoch %d, want %d", loaded.Epoch(), ix.Epoch()+1)
+	}
+}
+
+// TestUnmutatedSnapshotStaysVersion1: an index that never saw an update
+// must keep writing byte-identical version-1 snapshots (the format bump is
+// paid only when external-id state exists).
+func TestUnmutatedSnapshotStaysVersion1(t *testing.T) {
+	_, p := data.Smoke.Generate()
+	ix, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if got := raw[8]; got != 1 {
+		t.Fatalf("unmutated snapshot has version %d, want 1", got)
+	}
+}
