@@ -39,6 +39,14 @@
 // across every shard saturates the machine without oversubscribing it
 // (override with -parallel; the paper's measurements are single-threaded,
 // but a server owns its machine).
+//
+// Serving is context-aware end to end: a client that disconnects stops
+// contributing to its micro-batch, and once every batch-mate is gone the
+// underlying shard scans abort mid-bucket; -request-timeout adds a
+// per-request deadline with the same behavior. Repeat queries with the
+// same k or θ reuse fitted per-bucket tuning parameters through a shared
+// tuning cache, so small-batch serving stops re-paying §4.4 sample tuning
+// on every call (visible as tunings vs tune_cache_hits in /stats).
 package main
 
 import (
@@ -75,6 +83,7 @@ func main() {
 	pretuneK := flag.Int("pretune-k", 10, "k used by -save-snapshot's pretuning pass")
 	compactFrac := flag.Float64("compact-frac", 0.25, "re-bucketize a shard when its delta mass (tombstones+overlay per live probe) exceeds this fraction (negative disables)")
 	maxUpdateOps := flag.Int("max-update-ops", 4096, "maximum ops per /v1/update batch (negative disables the limit)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request retrieval deadline; expired requests abort their shard scans mid-bucket and return 503 (0 disables)")
 	flag.Parse()
 
 	sources := 0
@@ -108,6 +117,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		MaxUpdateOps:    *maxUpdateOps,
 		CompactFraction: *compactFrac,
+		RequestTimeout:  *requestTimeout,
 	}
 
 	var srv *server.Server

@@ -6,7 +6,8 @@
 // binary format or CSV, one vector per line); generate inputs with
 // lemp-datagen or bring your own factors. Retrieval fans out over all CPU
 // cores by default; pass -parallel 1 to reproduce the paper's
-// single-threaded measurements.
+// single-threaded measurements. Ctrl-C cancels a long run cleanly through
+// the retrieval context.
 //
 // Usage:
 //
@@ -17,11 +18,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
 
 	"lemp"
 )
@@ -59,7 +64,7 @@ func main() {
 		fail("loading %s: %v", *pPath, err)
 	}
 
-	index, err := lemp.New(p, lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel})
+	index, err := lemp.New(p, lemp.Options{Phi: *phi})
 	if err != nil {
 		fail("building index: %v", err)
 	}
@@ -85,34 +90,40 @@ func main() {
 		w.WriteByte('\n')
 	}
 
-	var st lemp.Stats
+	// Interrupts cancel the retrieval context: the scan aborts at the next
+	// bucket boundary instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One call, assembled from options: the mode plus per-call policy
+	// (algorithm, parallelism, streaming/approximation).
+	opts := []lemp.Option{lemp.WithAlgorithm(alg), lemp.WithParallelism(*parallel)}
 	switch {
 	case *theta > 0:
 		if *approx > 0 {
 			fail("-approx applies only to -topk")
 		}
-		st, err = index.AboveThetaFunc(q, *theta, writeEntry)
+		opts = append(opts, lemp.AboveTheta(*theta), lemp.Stream(writeEntry))
 	case *approx > 0:
-		var top lemp.TopK
-		top, st, err = index.RowTopKApprox(q, *topk, lemp.ApproxOptions{Clusters: *approx})
-		for _, row := range top {
-			for _, e := range row {
-				writeEntry(e)
-			}
-		}
+		opts = append(opts, lemp.TopK(*topk), lemp.Approx(lemp.ApproxOptions{Clusters: *approx}))
 	default:
-		var top lemp.TopK
-		top, st, err = index.RowTopK(q, *topk)
-		for _, row := range top {
-			for _, e := range row {
-				writeEntry(e)
-			}
-		}
+		opts = append(opts, lemp.TopK(*topk))
 	}
+	res, err := index.Retrieve(ctx, q, opts...)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "lemp: interrupted")
+			os.Exit(130)
+		}
 		fail("%v", err)
 	}
+	for _, row := range res.TopK {
+		for _, e := range row {
+			writeEntry(e)
+		}
+	}
 	if *stats {
+		st := res.Stats
 		fmt.Fprintf(os.Stderr,
 			"queries=%d probes=%d buckets=%d results=%d candidates/query=%.1f\n"+
 				"prep=%v tune=%v retrieval=%v total=%v\n",

@@ -3,9 +3,14 @@
 // "action" and "romance". We retrieve (a) all predicted ratings above 3
 // (Above-θ) and (b) each user's two best movies (Row-Top-k) — without
 // computing the full rating matrix.
+//
+// Both problems go through the one context-aware entry point,
+// Index.Retrieve, with the mode and any per-call policy given as
+// functional options.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,22 +46,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Println("Predicted ratings above 3.0:")
-	entries, _, err := index.AboveTheta(q, 3.0)
+	res, err := index.Retrieve(ctx, q, lemp.AboveTheta(3.0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, e := range entries {
+	for _, e := range res.Entries {
 		fmt.Printf("  %-8s -> %-9s %.1f\n", users[e.Query], movies[e.Probe], e.Value)
 	}
 
 	fmt.Println("\nTop-2 recommendations per user:")
-	top, _, err := index.RowTopK(q, 2)
+	res, err = index.Retrieve(ctx, q, lemp.TopK(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for u, row := range top {
+	for u, row := range res.TopK {
 		fmt.Printf("  %-8s", users[u])
 		for _, e := range row {
 			fmt.Printf(" %s (%.1f) ", movies[e.Probe], e.Value)

@@ -1,15 +1,20 @@
 // Tuning: a look inside LEMP's algorithm selection (§4.4). The same
-// workload runs under every bucket algorithm, showing the trade-off the
+// workload runs under every bucket algorithm — selected per call with
+// lemp.WithAlgorithm on one shared index — showing the trade-off the
 // paper's Tables 5–6 measure: LENGTH verifies many candidates cheaply,
 // INCR/COORD prune aggressively at some scanning cost, TA/Tree/L2AP/BLSH
 // sit in between — and the mixed LI, which picks per bucket and per query,
-// matches the best of them. The example also demonstrates fixing φ by hand
-// and disabling the cache-size bucket limit.
+// matches the best of them. The example also demonstrates fixing φ by
+// hand, disabling the cache-size bucket limit, and reusing fitted tuning
+// parameters across calls with a TuningCache (the serving-path win: repeat
+// calls skip §4.4 sample tuning entirely).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"lemp"
 	"lemp/internal/data"
@@ -25,23 +30,26 @@ func main() {
 		profile.Name, profile.R, profile.M, profile.R, profile.N)
 	q, p := profile.Generate()
 	const k = 10
+	ctx := context.Background()
 
-	fmt.Printf("\n%-18s %12s %14s %10s\n", "algorithm", "total", "cands/query", "buckets")
+	// One index, nine algorithms: the bucket method is per-call policy.
+	index, err := lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-18s %12s %14s %10s\n", "algorithm", "tune+retr", "cands/query", "buckets")
 	for _, name := range []string{"L", "C", "I", "LC", "LI", "TA", "Tree", "L2AP", "BLSH"} {
 		alg, err := lemp.ParseAlgorithm(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		index, err := lemp.New(p, lemp.Options{Algorithm: alg})
+		res, err := index.Retrieve(ctx, q, lemp.TopK(k), lemp.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, st, err := index.RowTopK(q, k)
-		if err != nil {
-			log.Fatal(err)
-		}
+		st := res.Stats
 		fmt.Printf("LEMP-%-13s %12v %14.1f %10d\n",
-			name, st.TotalTime().Round(1000), st.CandidatesPerQuery(), st.Buckets)
+			name, (st.TuneTime + st.RetrievalTime).Round(1000), st.CandidatesPerQuery(), st.Buckets)
 	}
 
 	fmt.Println("\nfixed φ vs tuned φ_b (pure INCR):")
@@ -54,20 +62,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, st, err := index.RowTopK(q, k)
+		res, err := index.Retrieve(ctx, q, lemp.TopK(k))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-6s total %12v  cands/query %10.1f\n",
-			label, st.TotalTime().Round(1000), st.CandidatesPerQuery())
+			label, res.Stats.TotalTime().Round(1000), res.Stats.CandidatesPerQuery())
 	}
 
 	fmt.Println("\nper-bucket selections of the tuned LI run (first 8 buckets):")
-	index, err := lemp.New(p, lemp.Options{})
+	index, err = lemp.New(p, lemp.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := index.RowTopK(q, k); err != nil {
+	if _, err := index.Retrieve(ctx, q, lemp.TopK(k)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %-8s %8s %10s %8s %6s\n", "bucket", "size", "max len", "t_b", "φ_b")
@@ -89,10 +97,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, st, err := index.RowTopK(q, k)
+		res, err := index.Retrieve(ctx, q, lemp.TopK(k))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s %4d buckets, total %v\n", label, st.Buckets, st.TotalTime().Round(1000))
+		fmt.Printf("  %-28s %4d buckets, total %v\n", label, res.Stats.Buckets, res.Stats.TotalTime().Round(1000))
+	}
+
+	// Serving-style reuse: per-call tuning dominates small batches, and a
+	// TuningCache removes it from every call after the first.
+	fmt.Println("\ntuning reuse on a small batch (2 queries, k=10):")
+	index, err = lemp.New(p, lemp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := lemp.NewTuningCache()
+	small := q.Head(2)
+	for _, call := range []string{"cold", "warm", "warm"} {
+		start := time.Now()
+		res, err := index.Retrieve(ctx, small, lemp.TopK(k), lemp.WithTuningCache(tc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s call: %10v  (sample tunings: %d, cache hits: %d)\n",
+			call, time.Since(start).Round(1000), res.Stats.Tunings, res.Stats.TuneCacheHits)
 	}
 }

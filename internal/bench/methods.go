@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -117,14 +118,15 @@ func (r *Runner) dtreeTopK(ds *dataset, k int) Measurement {
 // --- LEMP ----------------------------------------------------------------
 
 func (r *Runner) lempAbove(ds *dataset, level int, alg core.Algorithm, opts core.Options) Measurement {
-	opts.Algorithm = alg
 	start := time.Now()
 	ix, err := core.NewIndex(ds.p, opts)
 	if err != nil {
 		panic(err)
 	}
 	var n int64
-	st, err := ix.AboveTheta(ds.q, ds.thetas[level], discard(&n))
+	// The algorithm is a per-call execution policy on the shared options,
+	// exercising the same RunOptions path the serving layer uses.
+	st, err := ix.AboveThetaCtx(context.Background(), ds.q, ds.thetas[level], discard(&n), core.RunOptions{Algorithm: &alg})
 	if err != nil {
 		panic(err)
 	}
@@ -136,13 +138,12 @@ func (r *Runner) lempAbove(ds *dataset, level int, alg core.Algorithm, opts core
 }
 
 func (r *Runner) lempTopK(ds *dataset, k int, alg core.Algorithm, opts core.Options) Measurement {
-	opts.Algorithm = alg
 	start := time.Now()
 	ix, err := core.NewIndex(ds.p, opts)
 	if err != nil {
 		panic(err)
 	}
-	_, st, err := ix.RowTopK(ds.q, k)
+	_, st, err := ix.RowTopKCtx(context.Background(), ds.q, k, core.RunOptions{Algorithm: &alg})
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -11,32 +12,47 @@ import (
 )
 
 // AboveTheta retrieves every entry of QᵀP with value ≥ theta (Problem 1)
-// and streams it to emit. theta must be positive, as in the paper's problem
-// statement. The entry order is unspecified.
+// and streams it to emit. It is AboveThetaCtx with a background context and
+// the index's build-time options.
+func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink) (Stats, error) {
+	return ix.AboveThetaCtx(context.Background(), q, theta, emit, RunOptions{})
+}
+
+// AboveThetaCtx is the context-aware Above-θ driver with per-call execution
+// overrides. theta must be positive, as in the paper's problem statement.
+// The entry order is unspecified.
 //
 // The loop structure follows §3.2: probe buckets (small, cache-resident) in
 // the outer loop, queries in decreasing-length order in the inner loop, so
 // a query whose local threshold exceeds 1 ends the inner loop — every later
 // query is shorter — and a bucket whose longest query is pruned ends the
 // whole run — every later bucket is shorter too.
-func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink) (Stats, error) {
+//
+// The context is polled at every (bucket, query) boundary: a canceled call
+// stops emitting within one bucket's work per worker and returns ctx.Err();
+// entries already streamed to emit stay delivered (callers that must not
+// observe partial output should collect and discard on error). The index
+// stays fully reusable after a cancellation.
+func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta float64, emit retrieval.Sink, ro RunOptions) (Stats, error) {
 	if q.R() != ix.r {
 		return Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
 	}
 	if !(theta > 0) {
 		return Stats{}, fmt.Errorf("core: theta must be positive, got %v", theta)
 	}
+	opts, err := ix.effOptions(ro)
+	if err != nil {
+		return Stats{}, err
+	}
+	c := newCall(ctx, opts, ro.Cache)
 	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	qs := prepareQueries(q)
-	if ix.needsTuning() {
-		tuneStart := time.Now()
-		ix.tune(qs, tuneAbove{theta: theta})
-		st.TuneTime = time.Since(tuneStart)
+	if err := ix.ensureTuned(c, qs, tuneAbove{theta: theta}, &st); err != nil {
+		return st, err
 	}
 	start := time.Now()
-	if ix.opts.Parallelism == 1 || qs.n() < 2*ix.opts.Parallelism {
-		s := newScratch(ix.maxBucket, ix.r)
-		ix.aboveWorker(qs, 0, qs.n(), theta, s, emit, &st)
+	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
+		ix.aboveWorker(c, qs, 0, qs.n(), theta, newScratch(ix.maxBucket, ix.r), emit, &st)
 	} else {
 		var mu sync.Mutex
 		lockedEmit := func(e retrieval.Entry) {
@@ -44,7 +60,7 @@ func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink
 			emit(e)
 			mu.Unlock()
 		}
-		workers := ix.opts.Parallelism
+		workers := c.opts.Parallelism
 		stats := make([]Stats, workers)
 		var wg sync.WaitGroup
 		chunk := (qs.n() + workers - 1) / workers
@@ -61,7 +77,7 @@ func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				s := newScratch(ix.maxBucket, ix.r)
-				ix.aboveWorker(qs, lo, hi, theta, s, lockedEmit, &stats[w])
+				ix.aboveWorker(c, qs, lo, hi, theta, s, lockedEmit, &stats[w])
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -74,22 +90,28 @@ func (ix *Index) AboveTheta(q *matrix.Matrix, theta float64, emit retrieval.Sink
 	}
 	st.RetrievalTime = time.Since(start)
 	ix.countIndexedBuckets(&st)
+	if c.canceled() {
+		return st, c.ctxErr()
+	}
 	return st, nil
 }
 
 // aboveWorker processes queries [lo, hi) of the sorted query set against
-// all buckets.
-func (ix *Index) aboveWorker(qs *querySet, lo, hi int, theta float64, s *scratch, emit retrieval.Sink, st *Stats) {
+// all buckets, polling the call's context once per (bucket, query) pair.
+func (ix *Index) aboveWorker(c *call, qs *querySet, lo, hi int, theta float64, s *scratch, emit retrieval.Sink, st *Stats) {
 	nq := int64(hi - lo)
 	for _, b := range ix.scan {
 		// θ_b(q) = θ/(‖q‖·l_b); for l_b = 0 this is +Inf and the
 		// bucket (zero vectors only) is pruned for every query.
 		var l2T0 float64
-		if ix.opts.Algorithm == AlgL2AP && qs.n() > 0 && b.lb > 0 && qs.lens[0] > 0 {
+		if c.opts.Algorithm == AlgL2AP && qs.n() > 0 && b.lb > 0 && qs.lens[0] > 0 {
 			l2T0 = vecmath.Clamp(theta/(qs.lens[0]*b.lb), 0, 1)
 		}
 		processed := int64(0)
 		for qi := lo; qi < hi; qi++ {
+			if c.canceled() {
+				return
+			}
 			qlen := qs.lens[qi]
 			if qlen == 0 {
 				break // zero queries produce only zero products < θ
@@ -100,7 +122,7 @@ func (ix *Index) aboveWorker(qs *querySet, lo, hi int, theta float64, s *scratch
 			}
 			processed++
 			qdir := qs.dir(qi)
-			alg, phi := ix.resolve(b, thetaB)
+			alg, phi := ix.resolve(c.opts, b, thetaB)
 			ix.gather(b, alg, phi, int32(qi), qdir, qlen, theta, thetaB, l2T0, s)
 			ix.verifyAbove(b, qdir, qlen, theta, qs.ids[qi], s, emit, st)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -54,14 +55,29 @@ func (o ApproxOptions) withDefaults(m int) ApproxOptions {
 // RowTopKApprox returns an approximate Row-Top-k answer: per query, k probe
 // entries whose values are exact inner products, but which may miss some
 // true top-k members (the only approximate retrieval mode besides the BLSH
-// bucket algorithm, and the only one that can miss by design).
+// bucket algorithm, and the only one that can miss by design). It is
+// RowTopKApproxCtx with a background context and the index's build-time
+// options.
 func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (retrieval.TopK, Stats, error) {
+	return ix.RowTopKApproxCtx(context.Background(), q, k, aopts, RunOptions{})
+}
+
+// RowTopKApproxCtx is the context-aware approximate driver with per-call
+// execution overrides. The context is honored between the clustering phase
+// and the centroid retrieval, throughout the exact centroid Row-Top-k', and
+// at every query of the final re-ranking pass.
+func (ix *Index) RowTopKApproxCtx(ctx context.Context, q *matrix.Matrix, k int, aopts ApproxOptions, ro RunOptions) (retrieval.TopK, Stats, error) {
 	if q.R() != ix.r {
 		return nil, Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
 	}
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	opts, err := ix.effOptions(ro)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c := newCall(ctx, opts, ro.Cache)
 	m := q.N()
 	aopts = aopts.withDefaults(m)
 	st := Stats{Queries: m, Buckets: len(ix.scan), PrepTime: ix.prepTime}
@@ -76,6 +92,9 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 	tuneStart := time.Now()
 	clusters := kmeans.Spherical(q, aopts.Clusters, aopts.MaxIter, aopts.Seed)
 	st.TuneTime = time.Since(tuneStart)
+	if c.canceled() {
+		return nil, st, c.ctxErr()
+	}
 
 	// Phase 2: exact Row-Top-k' for the centroids.
 	kk := k
@@ -86,10 +105,13 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 	if expanded > live {
 		expanded = live
 	}
-	centroidTop, centroidStats, err := ix.RowTopK(clusters.Centroids, expanded)
+	centroidTop, centroidStats, err := ix.RowTopKCtx(ctx, clusters.Centroids, expanded, ro)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	st.TuneTime += centroidStats.TuneTime
+	st.Tunings += centroidStats.Tunings
+	st.TuneCacheHits += centroidStats.TuneCacheHits
 	st.Candidates += centroidStats.Candidates
 	st.ProcessedPairs += centroidStats.ProcessedPairs
 	st.PrunedPairs += centroidStats.PrunedPairs
@@ -98,6 +120,9 @@ func (ix *Index) RowTopKApprox(q *matrix.Matrix, k int, aopts ApproxOptions) (re
 	start := time.Now()
 	heap := topk.New(kk)
 	for i := 0; i < m; i++ {
+		if c.canceled() {
+			return nil, st, c.ctxErr()
+		}
 		qi := q.Vec(i)
 		cands := centroidTop[clusters.Assign[i]]
 		heap.Reset()

@@ -314,6 +314,8 @@ func (ix *Index) WithUpdates(ups []ProbeUpdate) (*Index, []int32, error) {
 // lazy-once fields start fresh.
 func (ix *Index) shallowClone() *Index {
 	return &Index{
+		id:         indexSeq.Add(1),
+		layout:     ix.layout,
 		opts:       ix.opts,
 		r:          ix.r,
 		n:          ix.n,
@@ -378,8 +380,10 @@ func (ix *Index) rebuildDelta() {
 
 // refreshScan merges main and delta buckets into the decreasing-l_b order
 // both retrieval drivers rely on for pruning, and re-derives the scratch
-// sizing bound.
+// sizing bound. Every call is a bucket-layout change, so the layout
+// generation advances (invalidating TuningCache entries for this index).
 func (ix *Index) refreshScan() {
+	ix.layout++
 	if len(ix.delta) == 0 {
 		ix.scan = ix.buckets
 	} else {
@@ -440,10 +444,10 @@ func (ix *Index) MaybeCompact(threshold float64) bool {
 // and tombstones, overlay and delta buckets are cleared. Queries before
 // and after a Compact return identical results — only the internal layout
 // changes — so the epoch is not advanced. If per-call tuning was frozen by
-// a Pretune method (not merely restored from a snapshot), the fitted
-// per-bucket parameters are re-frozen on the retained tuning sample;
-// snapshot-restored pretuned indexes keep default parameters until
-// pretuned again. Same concurrency contract as Apply.
+// a Pretune method, the fitted per-bucket parameters are re-frozen on the
+// retained tuning sample — which snapshots persist, so a snapshot-restored
+// pretuned index re-freezes after Compact exactly like the original. Same
+// concurrency contract as Apply.
 func (ix *Index) Compact() {
 	if !ix.mutated() {
 		return
@@ -482,7 +486,7 @@ func (ix *Index) Compact() {
 	ix.prepTime += time.Since(start)
 	if ix.pretuned && ix.tuneProb != nil && ix.tuneSample != nil && liveN > 0 && ix.hasTunableParams() {
 		tuneStart := time.Now()
-		ix.tune(prepareQueries(ix.tuneSample), ix.tuneProb)
+		ix.tune(newCall(nil, ix.opts, nil), prepareQueries(ix.tuneSample), ix.tuneProb)
 		ix.prepTime += time.Since(tuneStart)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lemp/internal/lsh"
@@ -27,6 +28,14 @@ type Index struct {
 	buckets   []*bucket      // main buckets, decreasing l_b
 	maxBucket int            // largest bucket in scan (sizes worker scratch)
 	prepTime  time.Duration
+
+	// id uniquely identifies this Index instance (copy-on-write derivations
+	// get fresh ids); layout counts bucketization changes (delta rebuilds,
+	// Compact). Together with the epoch they version the index for
+	// TuningCache keys: a cached parameter set can never be applied to an
+	// index whose buckets have changed shape.
+	id     uint64
+	layout uint64
 
 	// External probe ids (delta.go): main column col has id idBase+col, or
 	// probeIDs[col] when the live id set is no longer contiguous (after a
@@ -97,7 +106,7 @@ func NewIndexWithIDs(p *matrix.Matrix, ids []int32, opts Options) (*Index, error
 		}
 	}
 	start := time.Now()
-	ix := &Index{opts: opts, r: p.R(), n: p.N(), probe: p}
+	ix := &Index{opts: opts, r: p.R(), n: p.N(), probe: p, id: indexSeq.Add(1)}
 	ix.setIDs(ids)
 	ix.buckets = bucketize(p, ix.explicitIDs(), opts.ShrinkFactor, opts.MinBucketSize, ix.bucketCap())
 	ix.refreshScan()
@@ -105,6 +114,9 @@ func NewIndexWithIDs(p *matrix.Matrix, ids []int32, opts Options) (*Index, error
 	ix.prepTime = time.Since(start)
 	return ix, nil
 }
+
+// indexSeq issues unique Index instance ids (TuningCache key component).
+var indexSeq atomic.Uint64
 
 // maxIDPlusOne computes the smallest id larger than every assigned id.
 func maxIDPlusOne(ix *Index) int32 {
@@ -191,11 +203,14 @@ func (ix *Index) ensureLSH() (*lsh.Hasher, *lsh.Table) {
 }
 
 // defaultPhi is the focus-set size used before tuning has produced a
-// per-bucket φ_b.
-func (ix *Index) defaultPhi() int {
+// per-bucket φ_b, under the index's build-time options.
+func (ix *Index) defaultPhi() int { return ix.defaultPhiFor(ix.opts) }
+
+// defaultPhiFor is defaultPhi under a call's effective options.
+func (ix *Index) defaultPhiFor(o Options) int {
 	phi := 3
-	if ix.opts.MaxPhi < phi {
-		phi = ix.opts.MaxPhi
+	if o.MaxPhi < phi {
+		phi = o.MaxPhi
 	}
 	if ix.r < phi {
 		phi = ix.r
@@ -206,17 +221,17 @@ func (ix *Index) defaultPhi() int {
 	return phi
 }
 
-// resolve maps the configured algorithm to the concrete method for one
-// (bucket, θ_b) pair: mixed algorithms switch on the tuned t_b, and INCR
-// with φ_b = 1 degrades to COORD (Appendix A).
-func (ix *Index) resolve(b *bucket, thetaB float64) (Algorithm, int) {
-	alg := ix.opts.Algorithm
-	phi := ix.opts.Phi
+// resolve maps the call's effective algorithm to the concrete method for
+// one (bucket, θ_b) pair: mixed algorithms switch on the tuned t_b, and
+// INCR with φ_b = 1 degrades to COORD (Appendix A).
+func (ix *Index) resolve(o Options, b *bucket, thetaB float64) (Algorithm, int) {
+	alg := o.Algorithm
+	phi := o.Phi
 	if phi == 0 {
 		if b.tuned {
 			phi = b.phi
 		} else {
-			phi = ix.defaultPhi()
+			phi = ix.defaultPhiFor(o)
 		}
 	}
 	if phi > ix.r && ix.r > 0 {

@@ -81,6 +81,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // except BLSH is exact.
 func (a Algorithm) Exact() bool { return a != AlgBLSH }
 
+// Valid reports whether a names a known bucket algorithm.
+func (a Algorithm) Valid() bool {
+	_, ok := algorithmNames[a]
+	return ok
+}
+
 // needsPhi reports whether the algorithm scans sorted lists and therefore
 // uses the focus-set size φ.
 func (a Algorithm) needsPhi() bool {
@@ -131,6 +137,15 @@ type Options struct {
 	Epsilon float64
 	// Seed drives the BLSH hyperplanes (default 1).
 	Seed int64
+}
+
+// hasTunableParams reports whether the options' algorithm has per-bucket
+// parameters for the sample-based selection of §4.4 to fit.
+func (o Options) hasTunableParams() bool {
+	if o.Algorithm.needsTB() {
+		return true
+	}
+	return o.Algorithm.needsPhi() && o.Phi == 0
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+)
+
+// cancelFixture builds an index with several buckets (so mid-retrieval
+// cancellation has bucket boundaries to hit) and a query matrix.
+func cancelFixture(t *testing.T) (*Index, *matrix.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	p := genMatrix(rng, 600, 8, 0.6, 1, false, 0, 0)
+	q := genMatrix(rng, 64, 8, 0.6, 1, false, 0, 0)
+	ix, err := NewIndex(p, Options{MinBucketSize: 10, CacheBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumBuckets() < 4 {
+		t.Fatalf("fixture has %d buckets, want several", ix.NumBuckets())
+	}
+	return ix, q
+}
+
+func TestCancelBeforeStart(t *testing.T) {
+	ix, q := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := ix.RowTopKCtx(ctx, q, 5, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RowTopKCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	var n int
+	if _, err := ix.AboveThetaCtx(ctx, q, 0.5, func(retrieval.Entry) { n++ }, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AboveThetaCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := ix.RowTopKApproxCtx(ctx, q, 5, ApproxOptions{}, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RowTopKApproxCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// The index stays fully usable: an uncanceled call answers identically
+	// to a fresh index over the same probes.
+	top, _, err := ix.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewIndex(ix.Probe(), ix.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, want) {
+		t.Fatal("post-cancel RowTopK differs from a fresh index")
+	}
+}
+
+// TestCancelMidRetrieval cancels from inside the emit callback — a
+// deterministic mid-scan cancellation point — and checks the call stops
+// promptly (bounded by one bucket's worth of further emissions), reports
+// context.Canceled, and leaves the index reusable.
+func TestCancelMidRetrieval(t *testing.T) {
+	ix, q := cancelFixture(t)
+	theta := 0.2 // low threshold: many entries, many buckets survive
+
+	var full int
+	if _, err := ix.AboveTheta(q, theta, func(retrieval.Entry) { full++ }); err != nil {
+		t.Fatal(err)
+	}
+	if full < 100 {
+		t.Fatalf("fixture yields only %d entries; threshold too high for the test", full)
+	}
+
+	maxBucket := 0
+	for _, b := range ix.scan {
+		if b.size() > maxBucket {
+			maxBucket = b.size()
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	_, err := ix.AboveThetaCtx(ctx, q, theta, func(retrieval.Entry) {
+		emitted++
+		if emitted == 10 {
+			cancel()
+		}
+	}, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-scan cancel: err = %v, want context.Canceled", err)
+	}
+	// The checkpoint sits at every (bucket, query) boundary, so after the
+	// cancel at entry 10 at most one further (bucket, query) pair — ≤ one
+	// bucket of candidates — may still emit.
+	if emitted > 10+maxBucket {
+		t.Fatalf("call emitted %d entries after cancellation at 10 (max bucket %d)", emitted, maxBucket)
+	}
+
+	// Reusable afterwards, byte-identically.
+	var again int
+	if _, err := ix.AboveTheta(q, theta, func(retrieval.Entry) { again++ }); err != nil {
+		t.Fatal(err)
+	}
+	if again != full {
+		t.Fatalf("post-cancel run found %d entries, want %d", again, full)
+	}
+}
+
+// TestCancelMidRetrievalParallel is the same mid-scan cancellation under
+// worker fan-out: every worker must stop, the driver must report the
+// context error, and the index must stay usable.
+func TestCancelMidRetrievalParallel(t *testing.T) {
+	ix, q := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err := ix.AboveThetaCtx(ctx, q, 0.2, func(retrieval.Entry) {
+		n++
+		if n == 5 {
+			cancel()
+		}
+	}, RunOptions{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel mid-scan cancel: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 3, RunOptions{Parallelism: 4}); err != nil {
+		t.Fatalf("index unusable after parallel cancel: %v", err)
+	}
+}
+
+func TestRunOptionsAlgorithmOverride(t *testing.T) {
+	ix, q := cancelFixture(t)
+	for _, alg := range []Algorithm{AlgL, AlgTA, AlgL2AP} {
+		alg := alg
+		got, _, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Algorithm: &alg})
+		if err != nil {
+			t.Fatalf("override %v: %v", alg, err)
+		}
+		opts := ix.Options()
+		opts.Algorithm = alg
+		fresh, err := NewIndex(ix.Probe(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := fresh.RowTopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("per-call algorithm %v differs from an index built with it", alg)
+		}
+	}
+	// The default algorithm still answers correctly after the overrides.
+	if _, _, err := ix.RowTopK(q, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOptionsRejectsInvalid(t *testing.T) {
+	ix, q := cancelFixture(t)
+	bad := Algorithm(99)
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Algorithm: &bad}); err == nil {
+		t.Fatal("invalid per-call algorithm accepted")
+	}
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Parallelism: -2}); err == nil {
+		t.Fatal("negative per-call parallelism accepted")
+	}
+}
+
+func TestTuningCacheWarmCallSkipsTuning(t *testing.T) {
+	ix, q := cancelFixture(t)
+	tc := NewTuningCache()
+
+	baseline, _, err := ix.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, coldSt, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Cache: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldSt.Tunings != 1 || coldSt.TuneCacheHits != 0 {
+		t.Fatalf("cold call: Tunings=%d TuneCacheHits=%d, want 1/0", coldSt.Tunings, coldSt.TuneCacheHits)
+	}
+
+	warm, warmSt, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Cache: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSt.Tunings != 0 || warmSt.TuneCacheHits != 1 {
+		t.Fatalf("warm call: Tunings=%d TuneCacheHits=%d, want 0/1", warmSt.Tunings, warmSt.TuneCacheHits)
+	}
+	if warmSt.TuneTime != 0 {
+		t.Fatalf("warm call spent %v tuning, want 0", warmSt.TuneTime)
+	}
+	if !reflect.DeepEqual(cold, baseline) || !reflect.DeepEqual(warm, baseline) {
+		t.Fatal("cached-tuning results differ from uncached retrieval")
+	}
+
+	// A different k is a different problem: it must tune again.
+	_, otherSt, err := ix.RowTopKCtx(context.Background(), q, 7, RunOptions{Cache: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherSt.Tunings != 1 {
+		t.Fatalf("different k reused the k=5 fit (Tunings=%d)", otherSt.Tunings)
+	}
+
+	// Above-θ keys separately from Row-Top-k.
+	sink := func(retrieval.Entry) {}
+	if _, err := ix.AboveThetaCtx(context.Background(), q, 0.5, sink, RunOptions{Cache: tc}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ix.AboveThetaCtx(context.Background(), q, 0.5, sink, RunOptions{Cache: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tunings != 0 || st2.TuneCacheHits != 1 {
+		t.Fatalf("warm Above-θ: Tunings=%d TuneCacheHits=%d, want 0/1", st2.Tunings, st2.TuneCacheHits)
+	}
+}
+
+func TestTuningCacheInvalidatedByMutation(t *testing.T) {
+	ix, q := cancelFixture(t)
+	tc := NewTuningCache()
+	ro := RunOptions{Cache: tc}
+
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 5, ro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.AddProbe(q.Vec(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ix.RowTopKCtx(context.Background(), q, 5, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tunings != 1 || st.TuneCacheHits != 0 {
+		t.Fatalf("post-mutation call reused a stale fit (Tunings=%d, hits=%d)", st.Tunings, st.TuneCacheHits)
+	}
+
+	// Compact changes the bucket layout without advancing the epoch; the
+	// layout generation must still rotate the key.
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 5, ro); err != nil {
+		t.Fatal(err)
+	}
+	ix.Compact()
+	_, st, err = ix.RowTopKCtx(context.Background(), q, 5, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tunings != 1 || st.TuneCacheHits != 0 {
+		t.Fatalf("post-Compact call reused a stale fit (Tunings=%d, hits=%d)", st.Tunings, st.TuneCacheHits)
+	}
+
+	// And the mutated index still answers byte-identically to fresh.
+	top, _, err := ix.RowTopKCtx(context.Background(), q, 5, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewIndexWithIDs(ix.Probe(), ix.ProbeIDs(), ix.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.RowTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, want) {
+		t.Fatal("cached-tuning mutated index differs from fresh build")
+	}
+}
+
+// TestCanceledTuningPublishesNothing cancels during the tuning phase and
+// checks no partial fit lands in the cache and the index recovers.
+func TestCanceledTuningPublishesNothing(t *testing.T) {
+	ix, q := cancelFixture(t)
+	tc := NewTuningCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the tuning loop's first bucket checkpoint
+	if _, _, err := ix.RowTopKCtx(ctx, q, 5, RunOptions{Cache: tc}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := tc.Len(); n != 0 {
+		t.Fatalf("canceled call published %d cache entries", n)
+	}
+	// Misses counted, hits none.
+	if tc.Hits() != 0 {
+		t.Fatalf("phantom cache hit recorded")
+	}
+	if _, _, err := ix.RowTopKCtx(context.Background(), q, 5, RunOptions{Cache: tc}); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 1 {
+		t.Fatalf("recovered call did not publish its fit")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -14,7 +15,14 @@ import (
 
 // RowTopK retrieves, for every query vector, the k probe vectors with the
 // largest inner products (Problem 2; fewer when P holds fewer than k
-// vectors). Ties are broken arbitrarily.
+// vectors). Ties are broken arbitrarily. It is RowTopKCtx with a background
+// context and the index's build-time options.
+func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error) {
+	return ix.RowTopKCtx(context.Background(), q, k, RunOptions{})
+}
+
+// RowTopKCtx is the context-aware Row-Top-k driver with per-call execution
+// overrides.
 //
 // Per §4.5, each query runs Above-θ′ bucket by bucket in decreasing-length
 // order with a running lower bound θ′ — the current k-th best value —
@@ -23,27 +31,34 @@ import (
 // "k longest vectors" seed). The query's length is irrelevant to the
 // ranking, so the search runs on the unit direction (‖q‖ = 1) and values
 // are rescaled at the end.
-func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error) {
+//
+// The context is checked at every (query, bucket) boundary, in the tuning
+// sample and in every worker: a canceled call returns ctx.Err() within one
+// bucket's work per worker and leaves the index fully reusable. No partial
+// result is returned and no partial tuning fit is published.
+func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro RunOptions) (retrieval.TopK, Stats, error) {
 	if q.R() != ix.r {
 		return nil, Stats{}, fmt.Errorf("core: query dimension %d does not match index dimension %d", q.R(), ix.r)
 	}
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	opts, err := ix.effOptions(ro)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c := newCall(ctx, opts, ro.Cache)
 	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	out := make(retrieval.TopK, q.N())
 	qs := prepareQueries(q)
-	if ix.LiveN() > 0 && ix.needsTuning() {
-		tuneStart := time.Now()
-		ix.tune(qs, tuneTopK{k: k})
-		st.TuneTime = time.Since(tuneStart)
+	if err := ix.ensureTuned(c, qs, tuneTopK{k: k}, &st); err != nil {
+		return nil, st, err
 	}
 	start := time.Now()
-	if ix.opts.Parallelism == 1 || qs.n() < 2*ix.opts.Parallelism {
-		s := newScratch(ix.maxBucket, ix.r)
-		ix.topkWorker(qs, 0, qs.n(), k, s, out, &st)
+	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
+		ix.topkWorker(c, qs, 0, qs.n(), k, newScratch(ix.maxBucket, ix.r), out, &st)
 	} else {
-		workers := ix.opts.Parallelism
+		workers := c.opts.Parallelism
 		stats := make([]Stats, workers)
 		var wg sync.WaitGroup
 		chunk := (qs.n() + workers - 1) / workers
@@ -60,7 +75,7 @@ func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error)
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				s := newScratch(ix.maxBucket, ix.r)
-				ix.topkWorker(qs, lo, hi, k, s, out, &stats[w])
+				ix.topkWorker(c, qs, lo, hi, k, s, out, &stats[w])
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -73,12 +88,17 @@ func (ix *Index) RowTopK(q *matrix.Matrix, k int) (retrieval.TopK, Stats, error)
 	}
 	st.RetrievalTime = time.Since(start)
 	ix.countIndexedBuckets(&st)
+	if c.canceled() {
+		return nil, st, c.ctxErr()
+	}
 	return out, st, nil
 }
 
 // topkWorker answers queries [lo, hi) of the sorted query set. Each worker
-// owns its scratch and heap; output rows are disjoint, so no locking.
-func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retrieval.TopK, st *Stats) {
+// owns its scratch and heap; output rows are disjoint, so no locking. The
+// call's context is polled once per (query, bucket) pair, so cancellation
+// costs at most one bucket of work per worker.
+func (ix *Index) topkWorker(c *call, qs *querySet, lo, hi, k int, s *scratch, out retrieval.TopK, st *Stats) {
 	live := ix.LiveN()
 	if live == 0 {
 		return
@@ -93,6 +113,9 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 		origID := qs.ids[qi]
 		qlen := qs.lens[qi]
 		if qlen == 0 {
+			if c.canceled() {
+				return
+			}
 			row := ix.zeroQueryRow(int(origID), kk)
 			out[origID] = row
 			st.Results += int64(len(row))
@@ -101,6 +124,9 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 		qdir := qs.dir(qi)
 		heap.Reset()
 		for _, b := range ix.scan {
+			if c.canceled() {
+				return
+			}
 			theta, thetaB := negInf, negInf
 			if thr, ok := heap.Threshold(); ok {
 				theta = thr
@@ -122,7 +148,7 @@ func (ix *Index) topkWorker(qs *querySet, lo, hi, k int, s *scratch, out retriev
 				thetaB = -1
 			}
 			st.ProcessedPairs++
-			alg, phi := ix.resolve(b, thetaB)
+			alg, phi := ix.resolve(c.opts, b, thetaB)
 			ix.gather(b, alg, phi, int32(qi), qdir, 1, theta, thetaB, 0, s)
 			st.Candidates += int64(len(s.cand))
 			s.work += int64(len(s.cand)) * int64(ix.r)

@@ -30,6 +30,17 @@ type State struct {
 	// assignment. A zero NextID means "derive from the ids".
 	Epoch  uint64
 	NextID int32
+
+	// Retained tuning sample (§4.4). A Pretune call keeps the query sample
+	// and problem it fitted so Compact can re-freeze the parameters after a
+	// re-bucketization; persisting them lets a snapshot-restored pretuned
+	// index do the same instead of silently dropping back to defaults.
+	// TuneSample nil means no sample was retained; TuneTopK selects the
+	// problem kind (Row-Top-k at TuneK, else Above-θ at TuneTheta).
+	TuneSample *matrix.Matrix
+	TuneTopK   bool
+	TuneK      int
+	TuneTheta  float64
 }
 
 // BucketState is the serializable state of one probe bucket: the sorted
@@ -67,6 +78,17 @@ func (ix *Index) State() *State {
 		IDs:      ix.explicitIDs(),
 		Epoch:    ix.epoch,
 		NextID:   ix.nextID,
+	}
+	if ix.pretuned && ix.tuneSample != nil {
+		st.TuneSample = ix.tuneSample
+		switch p := ix.tuneProb.(type) {
+		case tuneTopK:
+			st.TuneTopK, st.TuneK = true, p.k
+		case tuneAbove:
+			st.TuneTheta = p.theta
+		default:
+			st.TuneSample = nil // unknown problem: nothing to persist
+		}
 	}
 	for i, b := range ix.buckets {
 		st.Buckets[i] = BucketState{
@@ -106,7 +128,32 @@ func FromState(st *State) (*Index, error) {
 		return nil, fmt.Errorf("core: state has no probe matrix")
 	}
 	r, n := st.Probe.R(), st.Probe.N()
-	ix := &Index{opts: opts, r: r, n: n, probe: st.Probe, pretuned: st.Pretuned}
+	ix := &Index{opts: opts, r: r, n: n, probe: st.Probe, pretuned: st.Pretuned, id: indexSeq.Add(1)}
+	if st.TuneSample != nil && st.Pretuned {
+		if st.TuneSample.R() != r {
+			return nil, fmt.Errorf("core: tuning sample dimension %d does not match probe dimension %d", st.TuneSample.R(), r)
+		}
+		if st.TuneSample.N() == 0 {
+			return nil, fmt.Errorf("core: retained tuning sample is empty")
+		}
+		for _, x := range st.TuneSample.Data() {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("core: tuning sample holds non-finite value %v", x)
+			}
+		}
+		if st.TuneTopK {
+			if st.TuneK < 1 {
+				return nil, fmt.Errorf("core: retained tuning k %d must be positive", st.TuneK)
+			}
+			ix.tuneProb = tuneTopK{k: st.TuneK}
+		} else {
+			if !(st.TuneTheta > 0) || math.IsInf(st.TuneTheta, 0) {
+				return nil, fmt.Errorf("core: retained tuning theta %v must be a positive finite number", st.TuneTheta)
+			}
+			ix.tuneProb = tuneAbove{theta: st.TuneTheta}
+		}
+		ix.tuneSample = st.TuneSample
+	}
 	// Resolve the external id universe: identity (ids are column numbers)
 	// or the explicit column → id mapping of a compacted mutated index.
 	var idSet map[int32]bool // id → seen in a bucket yet; nil = identity

@@ -25,6 +25,13 @@ type Stats struct {
 	// signature) index was actually built — LEMP builds lazily (§4.2).
 	IndexedBuckets int
 
+	// Tunings counts sample-tuning passes (§4.4) actually executed by the
+	// call; TuneCacheHits counts tuning phases answered by restoring
+	// parameters from a TuningCache instead. A warm-cache call reports
+	// Tunings == 0 — the assertion that repeat-call tuning cost is gone.
+	Tunings       int
+	TuneCacheHits int
+
 	PrepTime      time.Duration // bucketization + sorting + normalization
 	TuneTime      time.Duration // sample-based algorithm selection (§4.4)
 	RetrievalTime time.Duration // the retrieval phase itself
@@ -43,6 +50,8 @@ func (s *Stats) Add(o Stats) {
 	s.Results += o.Results
 	s.ProcessedPairs += o.ProcessedPairs
 	s.PrunedPairs += o.PrunedPairs
+	s.Tunings += o.Tunings
+	s.TuneCacheHits += o.TuneCacheHits
 	if o.Buckets > s.Buckets {
 		s.Buckets = o.Buckets
 	}

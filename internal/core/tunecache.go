@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Cross-call reuse of the sample-based algorithm selection (§4.4). Tuning
+// costs a sample of real retrievals per call — roughly 10× the marginal
+// per-query retrieval work on small batches — which a one-shot run amortizes
+// over a large query matrix but a serving system re-pays on every small
+// request. A TuningCache remembers the fitted per-bucket (t_b, φ_b) keyed by
+// everything that determines them: the exact index version (instance, epoch
+// and bucket layout), the frozen-tuning state, the effective algorithm and φ
+// policy, and the problem (k or θ). A warm hit restores the parameters with
+// a single pass over the buckets and skips sample tuning entirely.
+
+// TuningCache caches fitted per-bucket tuning parameters across retrieval
+// calls. It is safe for concurrent use by multiple goroutines and may be
+// shared across indexes (e.g. the shards of a partitioned probe set): keys
+// embed a unique per-index instance id, so entries never cross indexes.
+//
+// Entries are invalidated implicitly: any probe mutation advances the index
+// epoch and any re-bucketization (Compact, delta rebuild) advances the
+// layout generation, both part of the key, so a stale entry can never be
+// applied to a changed index. Stale entries are dropped wholesale when the
+// cache reaches its entry bound.
+type TuningCache struct {
+	mu      sync.Mutex
+	entries map[tuneCacheKey][]tunedParam
+	hits    uint64
+	misses  uint64
+}
+
+// tuningCacheMaxEntries bounds the cache; distinct keys accumulate with
+// epoch churn, so the map is cleared wholesale when full (entries for live
+// index versions re-fill on the next call at one tuning pass each).
+const tuningCacheMaxEntries = 1024
+
+// tuneCacheKey identifies one fitted parameter set.
+type tuneCacheKey struct {
+	index    uint64 // Index instance id (indexSeq)
+	epoch    uint64 // mutation epoch
+	layout   uint64 // bucketization generation (delta rebuilds, Compact)
+	pretuned bool   // frozen-tuning state
+	alg      Algorithm
+	phi      int  // Options.Phi policy (0 = tuned per bucket)
+	topk     bool // problem kind
+	k        int
+	theta    uint64 // math.Float64bits of θ
+}
+
+// tunedParam is one bucket's fitted state, in scan order.
+type tunedParam struct {
+	tuned bool
+	tb    float64
+	phi   int
+}
+
+// NewTuningCache returns an empty tuning cache.
+func NewTuningCache() *TuningCache {
+	return &TuningCache{entries: make(map[tuneCacheKey][]tunedParam)}
+}
+
+// Hits reports lookups that restored cached parameters.
+func (tc *TuningCache) Hits() uint64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.hits
+}
+
+// Misses reports lookups that found nothing and paid a tuning pass.
+func (tc *TuningCache) Misses() uint64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.misses
+}
+
+// Len reports the number of cached parameter sets.
+func (tc *TuningCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.entries)
+}
+
+func (tc *TuningCache) get(key tuneCacheKey) ([]tunedParam, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	params, ok := tc.entries[key]
+	if ok {
+		tc.hits++
+	} else {
+		tc.misses++
+	}
+	return params, ok
+}
+
+func (tc *TuningCache) put(key tuneCacheKey, params []tunedParam) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if len(tc.entries) >= tuningCacheMaxEntries {
+		tc.entries = make(map[tuneCacheKey][]tunedParam)
+	}
+	tc.entries[key] = params
+}
+
+// tuneCacheKey builds the cache key for this index at its current version
+// under the call's effective options and problem.
+func (ix *Index) tuneCacheKey(o Options, prob any) tuneCacheKey {
+	key := tuneCacheKey{
+		index:    ix.id,
+		epoch:    ix.epoch,
+		layout:   ix.layout,
+		pretuned: ix.pretuned,
+		alg:      o.Algorithm,
+		phi:      o.Phi,
+	}
+	switch p := prob.(type) {
+	case tuneTopK:
+		key.topk = true
+		key.k = p.k
+	case tuneAbove:
+		key.theta = math.Float64bits(p.theta)
+	}
+	return key
+}
+
+// captureTunedParams snapshots the scan buckets' fitted parameters.
+func (ix *Index) captureTunedParams() []tunedParam {
+	params := make([]tunedParam, len(ix.scan))
+	for i, b := range ix.scan {
+		params[i] = tunedParam{tuned: b.tuned, tb: b.tb, phi: b.phi}
+	}
+	return params
+}
+
+// applyTunedParams restores cached parameters onto the scan buckets. It
+// reports false — caller falls back to a tuning pass — when the cached
+// shape no longer matches the bucket list (possible only if a layout
+// change failed to rotate the key; belt and braces).
+func (ix *Index) applyTunedParams(params []tunedParam) bool {
+	if len(params) != len(ix.scan) {
+		return false
+	}
+	for i, b := range ix.scan {
+		b.tuned, b.tb, b.phi = params[i].tuned, params[i].tb, params[i].phi
+	}
+	return true
+}

@@ -21,21 +21,50 @@ import (
 // (the paper's approach) or a deterministic operation count with
 // Options.TuneByCost.
 
-// hasTunableParams reports whether the configured algorithm has per-bucket
-// parameters to select.
-func (ix *Index) hasTunableParams() bool {
-	a := ix.opts.Algorithm
-	if a.needsTB() {
-		return true
-	}
-	return a.needsPhi() && ix.opts.Phi == 0
-}
+// hasTunableParams reports whether the index's build-time algorithm has
+// per-bucket parameters to select.
+func (ix *Index) hasTunableParams() bool { return ix.opts.hasTunableParams() }
 
 // needsTuning reports whether a retrieval call should run the sample-based
 // selection: the algorithm has parameters to fit and tuning has not been
 // frozen by a Pretune call (or a snapshot restore of a pretuned index).
 func (ix *Index) needsTuning() bool {
 	return !ix.pretuned && ix.hasTunableParams()
+}
+
+// needsTuningFor is needsTuning under a call's effective options.
+func (ix *Index) needsTuningFor(o Options) bool {
+	return !ix.pretuned && o.hasTunableParams()
+}
+
+// ensureTuned runs the per-call tuning phase for one retrieval call: a
+// no-op when nothing is tunable or tuning is frozen, a parameter restore
+// when the call's TuningCache holds a fit for this exact index version and
+// problem, and a timed sample-tuning pass (stored back into the cache)
+// otherwise. Cancellation mid-tune returns the context error; no partial
+// fit is ever published to the cache.
+func (ix *Index) ensureTuned(c *call, qs *querySet, prob any, st *Stats) error {
+	if !ix.needsTuningFor(c.opts) || ix.LiveN() == 0 || qs.n() == 0 {
+		return nil
+	}
+	var key tuneCacheKey
+	if c.cache != nil {
+		key = ix.tuneCacheKey(c.opts, prob)
+		if params, ok := c.cache.get(key); ok && ix.applyTunedParams(params) {
+			st.TuneCacheHits++
+			return nil
+		}
+	}
+	tuneStart := time.Now()
+	if err := ix.tune(c, qs, prob); err != nil {
+		return err
+	}
+	st.TuneTime += time.Since(tuneStart)
+	st.Tunings++
+	if c.cache != nil {
+		c.cache.put(key, ix.captureTunedParams())
+	}
+	return nil
 }
 
 // PretuneTopK runs the sample-based algorithm selection (§4.4) for
@@ -68,7 +97,7 @@ func (ix *Index) pretune(q *matrix.Matrix, prob any) error {
 		return fmt.Errorf("core: pretuning needs at least one sample query")
 	}
 	if ix.hasTunableParams() && ix.LiveN() > 0 {
-		ix.tune(prepareQueries(q), prob)
+		ix.tune(newCall(nil, ix.opts, nil), prepareQueries(q), prob)
 	}
 	ix.pretuned = true
 	// Retain the sample and problem so Compact can re-freeze the fitted
@@ -92,11 +121,15 @@ type observation struct {
 	costPhi []float64 // indexed by φ; 0 unused
 }
 
-func (ix *Index) tune(qs *querySet, prob any) {
+// tune runs the sample-based selection under the call's effective options,
+// checking the call's context at bucket boundaries: a canceled call stops
+// mid-sample and returns the context error with every bucket left untuned
+// (the next call re-tunes), so the index stays fully usable.
+func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 	for _, b := range ix.scan {
 		b.tuned = false
 	}
-	sample := sampleIndices(qs.n(), ix.opts.SampleQueries)
+	sample := sampleIndices(qs.n(), c.opts.SampleQueries)
 	s := newScratch(ix.maxBucket, ix.r)
 	obs := make([][]observation, len(ix.scan))
 
@@ -109,11 +142,14 @@ func (ix *Index) tune(qs *querySet, prob any) {
 			}
 			qdir := qs.dir(qi)
 			for bi, b := range ix.scan {
+				if c.canceled() {
+					return c.ctxErr()
+				}
 				thetaB := p.theta / (qlen * b.lb)
 				if thetaB > 1 {
 					break // buckets are ordered by decreasing l_b
 				}
-				obs[bi] = append(obs[bi], ix.observe(b, qdir, qlen, p.theta, thetaB, s))
+				obs[bi] = append(obs[bi], ix.observe(c, b, qdir, qlen, p.theta, thetaB, s))
 			}
 		}
 	case tuneTopK:
@@ -133,6 +169,9 @@ func (ix *Index) tune(qs *querySet, prob any) {
 			qdir := qs.dir(qi)
 			heap.Reset()
 			for bi, b := range ix.scan {
+				if c.canceled() {
+					return c.ctxErr()
+				}
 				theta, thetaB := math.Inf(-1), math.Inf(-1)
 				if thr, ok := heap.Threshold(); ok {
 					theta = thr
@@ -154,7 +193,7 @@ func (ix *Index) tune(qs *querySet, prob any) {
 				// θ_b ∈ (0,1]; below that resolve() forces
 				// LENGTH, so there is nothing to measure.
 				if thetaB > 0 {
-					obs[bi] = append(obs[bi], ix.observe(b, qdir, 1, theta, thetaB, s))
+					obs[bi] = append(obs[bi], ix.observe(c, b, qdir, 1, theta, thetaB, s))
 				}
 				// Advance the running threshold with an exact
 				// LENGTH pass (the sample must follow the same
@@ -171,16 +210,17 @@ func (ix *Index) tune(qs *querySet, prob any) {
 	}
 
 	for bi, b := range ix.scan {
-		ix.fitBucket(b, obs[bi])
+		ix.fitBucketFor(c.opts, b, obs[bi])
 	}
+	return nil
 }
 
 // observe measures one (query, bucket) pair: the LENGTH cost and the
 // coordinate-family cost for every candidate φ, each including candidate
 // verification (the dominant term).
-func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64, s *scratch) observation {
-	o := observation{thetaB: thetaB, costPhi: make([]float64, ix.opts.MaxPhi+1)}
-	byCost := ix.opts.TuneByCost
+func (ix *Index) observe(c *call, b *bucket, qdir []float64, qlen, theta, thetaB float64, s *scratch) observation {
+	o := observation{thetaB: thetaB, costPhi: make([]float64, c.opts.MaxPhi+1)}
+	byCost := c.opts.TuneByCost
 
 	measure := func(gather func()) float64 {
 		s.work = 0
@@ -202,8 +242,8 @@ func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64,
 
 	o.costL = measure(func() { runLength(b, theta, qlen, s) })
 
-	phis := ix.tunePhis()
-	incr := ix.opts.Algorithm == AlgLI || ix.opts.Algorithm == AlgI
+	phis := ix.tunePhisFor(c.opts)
+	incr := c.opts.Algorithm == AlgLI || c.opts.Algorithm == AlgI
 	for _, phi := range phis {
 		phi := phi
 		o.costPhi[phi] = measure(func() {
@@ -222,17 +262,21 @@ func (ix *Index) observe(b *bucket, qdir []float64, qlen, theta, thetaB float64,
 // indexes (e.g. server shards) may tune concurrently.
 var verifySink atomic.Uint64
 
-// tunePhis returns the φ values the tuner tries: all of 1..MaxPhi when φ is
-// tuned, or just the fixed value.
-func (ix *Index) tunePhis() []int {
-	if ix.opts.Phi > 0 {
-		phi := ix.opts.Phi
+// tunePhis returns the φ values the tuner tries under the index's
+// build-time options: all of 1..MaxPhi when φ is tuned, or just the fixed
+// value.
+func (ix *Index) tunePhis() []int { return ix.tunePhisFor(ix.opts) }
+
+// tunePhisFor is tunePhis under a call's effective options.
+func (ix *Index) tunePhisFor(o Options) []int {
+	if o.Phi > 0 {
+		phi := o.Phi
 		if phi > ix.r && ix.r > 0 {
 			phi = ix.r
 		}
 		return []int{phi}
 	}
-	maxPhi := ix.opts.MaxPhi
+	maxPhi := o.MaxPhi
 	if maxPhi > ix.r && ix.r > 0 {
 		maxPhi = ix.r
 	}
@@ -243,15 +287,19 @@ func (ix *Index) tunePhis() []int {
 	return phis
 }
 
-// fitBucket selects φ_b and t_b from the bucket's observations.
-func (ix *Index) fitBucket(b *bucket, obs []observation) {
+// fitBucket selects φ_b and t_b from the bucket's observations under the
+// index's build-time options.
+func (ix *Index) fitBucket(b *bucket, obs []observation) { ix.fitBucketFor(ix.opts, b, obs) }
+
+// fitBucketFor is fitBucket under a call's effective options.
+func (ix *Index) fitBucketFor(o Options, b *bucket, obs []observation) {
 	b.tuned = true
 	b.tb = defaultTB
-	b.phi = ix.defaultPhi()
+	b.phi = ix.defaultPhiFor(o)
 	if len(obs) == 0 {
 		return
 	}
-	phis := ix.tunePhis()
+	phis := ix.tunePhisFor(o)
 	if len(phis) == 0 {
 		return
 	}
@@ -267,7 +315,7 @@ func (ix *Index) fitBucket(b *bucket, obs []observation) {
 		}
 	}
 	b.phi = bestPhi
-	if !ix.opts.Algorithm.needsTB() {
+	if !o.Algorithm.needsTB() {
 		return
 	}
 	// t_b: best split of the θ_b-sorted sample between LENGTH (below)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -8,7 +9,7 @@ import (
 )
 
 // Batcher coalesces concurrent retrieval requests into whole-matrix calls.
-// LEMP's drivers are batch-oriented — RowTopK and AboveTheta take a query
+// LEMP's drivers are batch-oriented — Row-Top-k and Above-θ take a query
 // *matrix* — so serving one HTTP request per retrieval call wastes the
 // amortization the paper's design invites. The batcher holds each incoming
 // request for at most Window, merging every request with identical
@@ -24,6 +25,13 @@ import (
 // at the same update epoch, and the combined retrieval runs on the View of
 // that epoch — never on a newer probe set — so a caller that keyed its
 // cache entries to an epoch receives results consistent with it.
+//
+// Contexts merge: the combined retrieval runs under a batch context that
+// is canceled only when every caller's context has been canceled — one
+// impatient client cannot abort work its batch-mates still want — and a
+// caller whose own context ends returns immediately with ctx.Err() while
+// the batch (if anyone is left) runs on. When the last caller leaves, the
+// batch context cancels and the sharded scan aborts mid-bucket.
 type Batcher struct {
 	sharded *Sharded
 	window  time.Duration
@@ -57,6 +65,13 @@ type formingBatch struct {
 	waiters []*waiter
 	timer   *time.Timer
 	fired   bool // dispatched (by size or timer); no longer accepting rows
+
+	// Merged cancellation: ctx is the batch's retrieval context, live the
+	// number of waiters still interested. abandon() decrements live and
+	// cancels ctx at zero. Guarded by Batcher.mu.
+	ctx    context.Context
+	cancel context.CancelFunc
+	live   int
 }
 
 // waiter is one caller's slice of a forming batch: rows [off, off+n).
@@ -84,33 +99,38 @@ func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
 
 // TopK submits one request's query rows (concatenated vectors of dimension
 // R) for Row-Top-k retrieval at the current epoch and blocks until its
-// batch completes. The returned rows parallel the submitted queries.
-func (b *Batcher) TopK(data []float64, rows, k int) ([][]lemp.Entry, error) {
-	return b.TopKAt(b.sharded.CurrentView(), data, rows, k)
+// batch completes or ctx ends. The returned rows parallel the submitted
+// queries.
+func (b *Batcher) TopK(ctx context.Context, data []float64, rows, k int) ([][]lemp.Entry, error) {
+	return b.TopKAt(ctx, b.sharded.CurrentView(), data, rows, k)
 }
 
 // TopKAt is TopK pinned to the caller's epoch snapshot.
-func (b *Batcher) TopKAt(v *View, data []float64, rows, k int) ([][]lemp.Entry, error) {
-	return b.submit(batchKey{topk: true, k: k, epoch: v.Epoch()}, v, data, rows)
+func (b *Batcher) TopKAt(ctx context.Context, v *View, data []float64, rows, k int) ([][]lemp.Entry, error) {
+	return b.submit(ctx, batchKey{topk: true, k: k, epoch: v.Epoch()}, v, data, rows)
 }
 
 // AboveTheta submits one request's query rows for Above-θ retrieval at the
-// current epoch and blocks until its batch completes.
-func (b *Batcher) AboveTheta(data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
-	return b.AboveThetaAt(b.sharded.CurrentView(), data, rows, theta)
+// current epoch and blocks until its batch completes or ctx ends.
+func (b *Batcher) AboveTheta(ctx context.Context, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
+	return b.AboveThetaAt(ctx, b.sharded.CurrentView(), data, rows, theta)
 }
 
 // AboveThetaAt is AboveTheta pinned to the caller's epoch snapshot.
-func (b *Batcher) AboveThetaAt(v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
-	return b.submit(batchKey{theta: theta, epoch: v.Epoch()}, v, data, rows)
+func (b *Batcher) AboveThetaAt(ctx context.Context, v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
+	return b.submit(ctx, batchKey{theta: theta, epoch: v.Epoch()}, v, data, rows)
 }
 
-func (b *Batcher) submit(key batchKey, v *View, data []float64, rows int) ([][]lemp.Entry, error) {
+func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []float64, rows int) ([][]lemp.Entry, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rows == 0 {
 		return nil, nil
 	}
 	if b.window <= 0 || b.max <= 1 {
-		res := b.retrieve(key, v, data, rows, 1)
+		// No coalescing: the request's own context drives the retrieval.
+		res := b.retrieve(ctx, key, v, data, rows, 1)
 		return res.rows, res.err
 	}
 
@@ -123,6 +143,7 @@ func (b *Batcher) submit(key batchKey, v *View, data []float64, rows int) ([][]l
 			b.fire(fb)
 		}
 		fb = &formingBatch{key: key, view: v}
+		fb.ctx, fb.cancel = context.WithCancel(context.Background())
 		fb.timer = time.AfterFunc(b.window, func() {
 			b.mu.Lock()
 			defer b.mu.Unlock()
@@ -134,13 +155,47 @@ func (b *Batcher) submit(key batchKey, v *View, data []float64, rows int) ([][]l
 	fb.data = append(fb.data, data...)
 	fb.rows += rows
 	fb.waiters = append(fb.waiters, w)
+	fb.live++
 	if fb.rows >= b.max {
 		b.fire(fb)
 	}
 	b.mu.Unlock()
 
-	res := <-w.done
-	return res.rows, res.err
+	select {
+	case res := <-w.done:
+		return res.rows, res.err
+	case <-ctx.Done():
+		// This caller is gone (client disconnect, deadline). Its rows stay
+		// in the batch — removing them would renumber other waiters — but
+		// when every caller has left, the batch context cancels and the
+		// sharded retrieval aborts mid-scan instead of running to
+		// completion for nobody.
+		b.abandon(fb)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon records one waiter's departure. When the last interested waiter
+// leaves, the batch context cancels; if the batch had not fired yet it is
+// retired entirely — stopped timer, removed from the forming map — so a
+// later caller on the same key starts a fresh batch instead of joining one
+// whose merged context is already dead (and inheriting its cancellation).
+func (b *Batcher) abandon(fb *formingBatch) {
+	b.mu.Lock()
+	fb.live--
+	if fb.live == 0 {
+		fb.cancel()
+		if !fb.fired {
+			// Nobody is waiting: there is nothing to dispatch. Mark the
+			// batch fired so submit can never add rows to it again.
+			fb.fired = true
+			fb.timer.Stop()
+			if b.forming[fb.key] == fb {
+				delete(b.forming, fb.key)
+			}
+		}
+	}
+	b.mu.Unlock()
 }
 
 // fire dispatches fb on its own goroutine. Callers must hold b.mu.
@@ -158,7 +213,8 @@ func (b *Batcher) fire(fb *formingBatch) {
 
 // dispatch runs the combined retrieval and scatters rows to the waiters.
 func (b *Batcher) dispatch(fb *formingBatch) {
-	res := b.retrieve(fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
+	defer fb.cancel() // release the merged context once everyone is served
+	res := b.retrieve(fb.ctx, fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
 	for _, w := range fb.waiters {
 		if res.err != nil {
 			w.done <- batchResult{err: res.err}
@@ -175,8 +231,9 @@ func (b *Batcher) dispatch(fb *formingBatch) {
 }
 
 // retrieve performs one sharded retrieval over a batch of rows, on the
-// epoch snapshot the batch was admitted at.
-func (b *Batcher) retrieve(key batchKey, v *View, data []float64, rows, requests int) batchResult {
+// epoch snapshot the batch was admitted at, under the batch's (merged)
+// context.
+func (b *Batcher) retrieve(ctx context.Context, key batchKey, v *View, data []float64, rows, requests int) batchResult {
 	q, err := lemp.MatrixFromData(b.sharded.R(), rows, data)
 	if err != nil {
 		return batchResult{err: err}
@@ -185,13 +242,13 @@ func (b *Batcher) retrieve(key batchKey, v *View, data []float64, rows, requests
 		b.onDispatch(rows, requests)
 	}
 	if key.topk {
-		top, _, err := v.TopK(q, key.k)
+		top, _, err := v.TopKCtx(ctx, q, key.k)
 		if err != nil {
 			return batchResult{err: err}
 		}
 		return batchResult{rows: top}
 	}
-	out, _, err := v.AboveTheta(q, key.theta)
+	out, _, err := v.AboveThetaCtx(ctx, q, key.theta)
 	if err != nil {
 		return batchResult{err: err}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -102,7 +103,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			rows, err := b.TopK(q.Vec(i), 1, k)
+			rows, err := b.TopK(context.Background(), q.Vec(i), 1, k)
 			if err != nil {
 				errs <- err
 				return
@@ -146,7 +147,7 @@ func TestBatcherDispatchesAtMax(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := b.TopK(q.Vec(i), 1, 3); err != nil {
+			if _, err := b.TopK(context.Background(), q.Vec(i), 1, 3); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -179,7 +180,7 @@ func TestBatcherKeysSeparateParams(t *testing.T) {
 		go func(i, k int) {
 			defer wg.Done()
 			<-start
-			if _, err := b.TopK(q.Vec(i), 1, k); err != nil {
+			if _, err := b.TopK(context.Background(), q.Vec(i), 1, k); err != nil {
 				t.Error(err)
 			}
 		}(i, k)
@@ -188,7 +189,7 @@ func TestBatcherKeysSeparateParams(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-start
-		if _, err := b.AboveTheta(q.Vec(5), 1, 1.5); err != nil {
+		if _, err := b.AboveTheta(context.Background(), q.Vec(5), 1, 1.5); err != nil {
 			t.Error(err)
 		}
 	}()

@@ -1,0 +1,122 @@
+package server
+
+import "sort"
+
+// Probe-id → shard routing. The obvious map[int32]int costs one map entry
+// per live probe — at serving scale (millions of probes) that map dwarfed
+// every other piece of serving state, and it existed only to route the
+// occasional /v1/update op. Shards are built over contiguous id ranges, so
+// the live id space is almost always a handful of runs: the router stores
+// those runs plus a small exception map absorbing post-build drift (adds
+// routed to other shards, removals punching holes in runs). Memory is
+// O(ranges + exceptions) instead of O(live probes); lookups are a binary
+// search over the ranges after one exception-map probe.
+type router struct {
+	// Disjoint id runs in increasing start order: run i covers external
+	// ids [starts[i], ends[i]) and routes to shard owner[i].
+	starts []int32
+	ends   []int32
+	owner  []int32
+
+	// exc overrides the runs for individual ids: the owning shard for an
+	// id added (or re-added) after build, or excRemoved for an id inside a
+	// run that has been removed.
+	exc map[int32]int32
+}
+
+// excRemoved marks an exception-map tombstone: the id lies inside a run
+// but is no longer live.
+const excRemoved int32 = -1
+
+// newRouter builds a router from each shard's live ids in ascending order
+// (shardIDs[i] lists shard i's ids). Contiguous runs compress to one range
+// each; a fully shuffled id space degenerates to one range per run of
+// consecutive ids, never worse than the old per-id map.
+func newRouter(shardIDs [][]int32) *router {
+	rt := &router{exc: make(map[int32]int32)}
+	for shard, ids := range shardIDs {
+		for j := 0; j < len(ids); {
+			k := j + 1
+			for k < len(ids) && ids[k] == ids[k-1]+1 {
+				k++
+			}
+			rt.starts = append(rt.starts, ids[j])
+			rt.ends = append(rt.ends, ids[k-1]+1)
+			rt.owner = append(rt.owner, int32(shard))
+			j = k
+		}
+	}
+	order := make([]int, len(rt.starts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rt.starts[order[a]] < rt.starts[order[b]] })
+	starts := make([]int32, len(order))
+	ends := make([]int32, len(order))
+	owner := make([]int32, len(order))
+	for i, o := range order {
+		starts[i], ends[i], owner[i] = rt.starts[o], rt.ends[o], rt.owner[o]
+	}
+	rt.starts, rt.ends, rt.owner = starts, ends, owner
+	return rt
+}
+
+// runFor returns the shard owning id per the runs alone (exceptions not
+// consulted).
+func (rt *router) runFor(id int32) (int, bool) {
+	i := sort.Search(len(rt.starts), func(i int) bool { return rt.starts[i] > id })
+	if i == 0 {
+		return 0, false
+	}
+	if id < rt.ends[i-1] {
+		return int(rt.owner[i-1]), true
+	}
+	return 0, false
+}
+
+// route returns the shard owning the live probe id, or false when the id
+// is not live.
+func (rt *router) route(id int32) (int, bool) {
+	if sh, ok := rt.exc[id]; ok {
+		return int(sh), sh != excRemoved
+	}
+	return rt.runFor(id)
+}
+
+// set records id as live on shard. When a run already says exactly that,
+// any stale exception is dropped instead (re-adding a removed id restores
+// the run's word).
+func (rt *router) set(id int32, shard int) {
+	if run, ok := rt.runFor(id); ok && run == shard {
+		delete(rt.exc, id)
+		return
+	}
+	rt.exc[id] = int32(shard)
+}
+
+// remove records id as not live: a tombstone exception when a run covers
+// it, otherwise just dropping its exception entry.
+func (rt *router) remove(id int32) {
+	if _, ok := rt.runFor(id); ok {
+		rt.exc[id] = excRemoved
+		return
+	}
+	delete(rt.exc, id)
+}
+
+// overlap reports the first pair of overlapping runs — possible only when
+// two shards claim the same id — as (shard a, shard b, offending id, true).
+func (rt *router) overlap() (int, int, int32, bool) {
+	for i := 1; i < len(rt.starts); i++ {
+		if rt.starts[i] < rt.ends[i-1] {
+			return int(rt.owner[i-1]), int(rt.owner[i]), rt.starts[i], true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// ranges reports the number of stored id runs (memory-regression tests).
+func (rt *router) ranges() int { return len(rt.starts) }
+
+// exceptions reports the exception-map size (memory-regression tests).
+func (rt *router) exceptions() int { return len(rt.exc) }

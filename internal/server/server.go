@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +54,11 @@ type Config struct {
 	// negative disables auto-compaction). Lower values keep pruning tight
 	// at the cost of more frequent rebuilds.
 	CompactFraction float64
+	// RequestTimeout bounds each retrieval request's end-to-end time
+	// (default 0: no deadline). The deadline propagates into the sharded
+	// scans, which abort mid-bucket when it expires, so a pathological
+	// query cannot pin shard workers indefinitely.
+	RequestTimeout time.Duration
 }
 
 // withDefaults resolves zero fields.
@@ -255,7 +261,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	s.serve(w, batchKey{topk: true, k: req.K}, req.Queries)
+	s.serve(w, r, batchKey{topk: true, k: req.K}, req.Queries)
 }
 
 func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
@@ -267,7 +273,7 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "theta must be a positive finite number, got %v", req.Theta)
 		return
 	}
-	s.serve(w, batchKey{theta: req.Theta}, req.Queries)
+	s.serve(w, r, batchKey{theta: req.Theta}, req.Queries)
 }
 
 // serve answers one retrieval request pinned to a single update epoch:
@@ -275,7 +281,19 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 // and cache inserts all use it, so a response can never mix rows from
 // different epochs and a cached row can never outlive the probe set it
 // was computed against.
-func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64) {
+//
+// The request context (plus the configured RequestTimeout) flows into the
+// sharded retrieval: a client that disconnects mid-batch stops contributing
+// to the merged batch context, and when every batch-mate has left the
+// underlying shard scans abort mid-bucket. A canceled request never
+// publishes rows into the result cache.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key batchKey, queries [][]float64) {
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	view := s.sharded.CurrentView()
 	key.epoch = view.Epoch()
 	// A row can never hold more than N entries; clamping here keeps huge k
@@ -283,10 +301,10 @@ func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64)
 	if n := view.N(); key.topk && n > 0 && key.k > n {
 		key.k = n
 	}
-	r := s.sharded.R()
+	dim := s.sharded.R()
 	for i, q := range queries {
-		if len(q) != r {
-			httpError(w, http.StatusBadRequest, "query %d has dimension %d, want %d", i, len(q), r)
+		if len(q) != dim {
+			httpError(w, http.StatusBadRequest, "query %d has dimension %d, want %d", i, len(q), dim)
 			return
 		}
 		// Non-finite coordinates poison the retrieval pipeline (query
@@ -328,11 +346,21 @@ func (s *Server) serve(w http.ResponseWriter, key batchKey, queries [][]float64)
 			err   error
 		)
 		if key.topk {
-			fresh, err = s.batcher.TopKAt(view, missData, len(missIdx), key.k)
+			fresh, err = s.batcher.TopKAt(ctx, view, missData, len(missIdx), key.k)
 		} else {
-			fresh, err = s.batcher.AboveThetaAt(view, missData, len(missIdx), key.theta)
+			fresh, err = s.batcher.AboveThetaAt(ctx, view, missData, len(missIdx), key.theta)
 		}
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			// The client is gone; there is nobody to answer. Returning
+			// here (before any cache insert) guarantees a canceled
+			// request never publishes a partial row.
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusServiceUnavailable, "retrieval timed out")
+			return
+		default:
 			httpError(w, http.StatusInternalServerError, "retrieval: %v", err)
 			return
 		}
@@ -406,6 +434,8 @@ type coreStats struct {
 	Results          int64   `json:"results"`
 	ProcessedPairs   int64   `json:"processed_pairs"`
 	PrunedPairs      int64   `json:"pruned_pairs"`
+	Tunings          int     `json:"tunings"`
+	TuneCacheHits    int     `json:"tune_cache_hits"`
 	PrepSeconds      float64 `json:"prep_seconds"`
 	TuneSeconds      float64 `json:"tune_seconds"`
 	RetrievalSeconds float64 `json:"retrieval_seconds"`
@@ -438,6 +468,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Results:          st.Results,
 			ProcessedPairs:   st.ProcessedPairs,
 			PrunedPairs:      st.PrunedPairs,
+			Tunings:          st.Tunings,
+			TuneCacheHits:    st.TuneCacheHits,
 			PrepSeconds:      st.PrepTime.Seconds(),
 			TuneSeconds:      st.TuneTime.Seconds(),
 			RetrievalSeconds: st.RetrievalTime.Seconds(),

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -42,14 +43,28 @@ type Sharded struct {
 	n      int // live probes across all shards
 	shards []*shard
 
-	// updMu serializes Update calls. Routing state (routes, nextID) is
+	// updMu serializes Update calls. Routing state (router, nextID) is
 	// only accessed while it is held.
 	updMu  sync.Mutex
-	routes map[int32]int // live probe id → shard
-	nextID int32         // next auto-assigned probe id
+	router *router // live probe id → shard (ranges + exceptions)
+	nextID int32   // next auto-assigned probe id
+
+	// tc shares fitted per-bucket tuning parameters across all retrieval
+	// calls of all shards: the first call per (problem, shard version)
+	// pays one sample-tuning pass, every repeat restores it. Keys embed
+	// the shard index instance and epoch, so entries never leak across
+	// epochs or shards.
+	tc *lemp.TuningCache
 
 	statsMu sync.Mutex
 	cum     lemp.Stats // cumulative stats across all retrieval calls
+
+	// Test instrumentation: when set, testShardStart is called as each
+	// shard retrieval begins (with the retrieval context, so a test can
+	// hold shards until a cancellation lands) and testShardDone as it
+	// returns with its error, making mid-batch cancellation observable.
+	testShardStart func(ctx context.Context, shard int)
+	testShardDone  func(shard int, err error)
 }
 
 // shard is one probe partition: the current index version and the mutex
@@ -85,7 +100,8 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 	if nShards == 0 {
 		return nil, fmt.Errorf("server: probe matrix is empty")
 	}
-	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards), routes: make(map[int32]int, n)}
+	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards), tc: lemp.NewTuningCache()}
+	routeIDs := make([][]int32, nShards)
 	for i := range s.shards {
 		// Split [0,n) into nShards near-equal contiguous ranges.
 		lo, hi := i*n/nShards, (i+1)*n/nShards
@@ -96,7 +112,6 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 			} else {
 				shardIDs[j] = int32(lo + j)
 			}
-			s.routes[shardIDs[j]] = i
 			if shardIDs[j] >= s.nextID {
 				s.nextID = shardIDs[j] + 1
 			}
@@ -106,7 +121,11 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
 		}
 		s.shards[i] = &shard{index: ix}
+		// The router wants ascending ids; the shard's live-id view is
+		// already sorted and deduplicated.
+		routeIDs[i] = ix.LiveIDs()
 	}
+	s.router = newRouter(routeIDs)
 	return s, nil
 }
 
@@ -119,22 +138,24 @@ func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
 	if len(ixs) == 0 {
 		return nil, fmt.Errorf("server: no shard indexes")
 	}
-	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs)), routes: make(map[int32]int)}
+	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs)), tc: lemp.NewTuningCache()}
+	routeIDs := make([][]int32, len(ixs))
 	for i, ix := range ixs {
 		if ix.R() != s.r {
 			return nil, fmt.Errorf("server: shard %d has dimension %d, shard 0 has %d", i, ix.R(), s.r)
 		}
-		for _, id := range ix.LiveIDs() {
-			if prev, dup := s.routes[id]; dup {
-				return nil, fmt.Errorf("server: probe id %d appears in shards %d and %d", id, prev, i)
-			}
-			s.routes[id] = i
-		}
+		routeIDs[i] = ix.LiveIDs()
 		if next := ix.NextID(); next > s.nextID {
 			s.nextID = next
 		}
 		s.shards[i] = &shard{index: ix}
 		s.n += ix.N()
+	}
+	s.router = newRouter(routeIDs)
+	// Cross-shard id collisions surface as overlapping id runs — checked
+	// in O(runs) rather than via a transient O(probes) set.
+	if a, b, id, overlap := s.router.overlap(); overlap {
+		return nil, fmt.Errorf("server: probe id %d appears in shards %d and %d", id, a, b)
 	}
 	return s, nil
 }
@@ -248,8 +269,10 @@ func addShardStats(dst *lemp.Stats, st lemp.Stats) {
 
 // fanOut runs fn on every shard of the view concurrently and accumulates
 // the per-shard stats; it returns the first error encountered. The shard
-// mutex serializes retrieval across all index versions of a shard.
-func (v *View) fanOut(fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
+// mutex serializes retrieval across all index versions of a shard. The
+// context is passed down into every shard retrieval, so canceling it —
+// client disconnect, request deadline — aborts all shard scans mid-bucket.
+func (v *View) fanOut(ctx context.Context, fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
@@ -262,7 +285,13 @@ func (v *View) fanOut(fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.
 			defer wg.Done()
 			sh := v.s.shards[i]
 			sh.mu.Lock()
+			if v.s.testShardStart != nil {
+				v.s.testShardStart(ctx, i)
+			}
 			st, err := fn(i, ix)
+			if v.s.testShardDone != nil {
+				v.s.testShardDone(i, err)
+			}
 			sh.mu.Unlock()
 			mu.Lock()
 			addShardStats(&call, st)
@@ -279,17 +308,24 @@ func (v *View) fanOut(fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.
 	return call, first
 }
 
-// TopK answers Row-Top-k for a whole query matrix across all shards of the
-// view and merges per-shard rows into global top-k rows.
-func (v *View) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
-	parts := make([]lemp.TopK, len(v.ixs))
-	st, err := v.fanOut(func(i int, ix *lemp.Index) (lemp.Stats, error) {
-		top, stats, err := ix.RowTopK(q, k)
+// TopKCtx answers Row-Top-k for a whole query matrix across all shards of
+// the view and merges per-shard rows into global top-k rows. Every shard
+// retrieval runs under ctx and shares the Sharded's tuning cache, so a
+// repeated (k, epoch) pays sample tuning only on its first call.
+func (v *View) TopKCtx(ctx context.Context, q *lemp.Matrix, k int) (lemp.TopKRows, lemp.Stats, error) {
+	// One spec serves every shard of the call (and validates once).
+	spec, err := lemp.NewSpec(lemp.TopK(k), lemp.WithTuningCache(v.s.tc))
+	if err != nil {
+		return nil, lemp.Stats{}, err
+	}
+	parts := make([]lemp.TopKRows, len(v.ixs))
+	st, err := v.fanOut(ctx, func(i int, ix *lemp.Index) (lemp.Stats, error) {
+		res, err := ix.RetrieveSpec(ctx, q, spec)
 		if err != nil {
-			return stats, err
+			return lemp.Stats{}, err
 		}
-		parts[i] = top
-		return stats, nil
+		parts[i] = res.TopK
+		return res.Stats, nil
 	})
 	if err != nil {
 		return nil, st, err
@@ -297,24 +333,34 @@ func (v *View) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
 	return lemp.MergeTopK(k, parts...), st, nil
 }
 
-// AboveTheta answers Above-θ for a whole query matrix across all shards of
-// the view, concatenating per-shard result sets. Entries are returned
+// TopK is TopKCtx with a background context.
+func (v *View) TopK(q *lemp.Matrix, k int) (lemp.TopKRows, lemp.Stats, error) {
+	return v.TopKCtx(context.Background(), q, k)
+}
+
+// AboveThetaCtx answers Above-θ for a whole query matrix across all shards
+// of the view, concatenating per-shard result sets. Entries are returned
 // grouped by query in rows (row i holds query i's entries) in canonical
-// (Query, Probe) order, the grouping batching and caching work in.
-func (v *View) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+// (Query, Probe) order, the grouping batching and caching work in. Shard
+// retrievals run under ctx and share the Sharded's tuning cache.
+func (v *View) AboveThetaCtx(ctx context.Context, q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+	spec, err := lemp.NewSpec(lemp.AboveTheta(theta), lemp.WithTuningCache(v.s.tc))
+	if err != nil {
+		return nil, lemp.Stats{}, err
+	}
 	rows := make([][]lemp.Entry, q.N())
 	var mu sync.Mutex
-	st, err := v.fanOut(func(_ int, ix *lemp.Index) (lemp.Stats, error) {
-		ents, stats, err := ix.AboveTheta(q, theta)
+	st, err := v.fanOut(ctx, func(_ int, ix *lemp.Index) (lemp.Stats, error) {
+		res, err := ix.RetrieveSpec(ctx, q, spec)
 		if err != nil {
-			return stats, err
+			return lemp.Stats{}, err
 		}
 		mu.Lock()
-		for _, e := range ents {
+		for _, e := range res.Entries {
 			rows[e.Query] = append(rows[e.Query], e)
 		}
 		mu.Unlock()
-		return stats, nil
+		return res.Stats, nil
 	})
 	if err != nil {
 		return nil, st, err
@@ -325,10 +371,15 @@ func (v *View) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.S
 	return rows, st, nil
 }
 
+// AboveTheta is AboveThetaCtx with a background context.
+func (v *View) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+	return v.AboveThetaCtx(context.Background(), q, theta)
+}
+
 // TopK answers Row-Top-k at the current epoch. Callers that must pin
 // several operations to one epoch (cache keys, batches) should take a
 // CurrentView once and use it throughout.
-func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
+func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopKRows, lemp.Stats, error) {
 	return s.CurrentView().TopK(q, k)
 }
 
@@ -336,6 +387,10 @@ func (s *Sharded) TopK(q *lemp.Matrix, k int) (lemp.TopK, lemp.Stats, error) {
 func (s *Sharded) AboveTheta(q *lemp.Matrix, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
 	return s.CurrentView().AboveTheta(q, theta)
 }
+
+// TuningCache returns the cache of fitted tuning parameters shared by all
+// shard retrievals (introspection and tests).
+func (s *Sharded) TuningCache() *lemp.TuningCache { return s.tc }
 
 // UpdateResult reports an applied update batch.
 type UpdateResult struct {
@@ -373,8 +428,7 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 		if sh, ok := overlay[id]; ok {
 			return sh, sh >= 0
 		}
-		sh, ok := s.routes[id]
-		return sh, ok
+		return s.router.route(id)
 	}
 	smallest := func() int {
 		best := 0
@@ -460,9 +514,9 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 		}
 		for id, sh := range overlay {
 			if sh < 0 {
-				delete(s.routes, id)
+				s.router.remove(id)
 			} else {
-				s.routes[id] = sh
+				s.router.set(id, sh)
 			}
 		}
 		s.nextID = nextID

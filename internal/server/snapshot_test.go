@@ -230,7 +230,7 @@ func TestRejectsNonFiniteInputs(t *testing.T) {
 		qv := append([]float64(nil), q.Vec(0)...)
 		qv[1] = bad
 		rec := httptest.NewRecorder()
-		srv.serve(rec, batchKey{topk: true, k: 3}, [][]float64{q.Vec(1), qv})
+		srv.serve(rec, httptest.NewRequest(http.MethodPost, "/v1/topk", nil), batchKey{topk: true, k: 3}, [][]float64{q.Vec(1), qv})
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("query with %v coordinate: status %d, want 400", bad, rec.Code)
 		}

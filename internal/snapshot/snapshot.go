@@ -24,26 +24,33 @@
 //	        normalized directions)
 //	"END\0" zero-length terminator
 //
-// Version 2 adds two optional sections between PROB and BUKT, carrying the
-// external-id state of a mutated (dynamically updated) index. Mutated
-// indexes are compacted on save — the delta layer folds into a fresh
-// bucketization with ids preserved — so the sections are small and the
-// BUKT layout stays identical:
+// Version 2 adds three optional sections between PROB and BUKT. PIDS and
+// MUTA carry the external-id state of a mutated (dynamically updated)
+// index; mutated indexes are compacted on save — the delta layer folds into
+// a fresh bucketization with ids preserved — so the sections are small and
+// the BUKT layout stays identical. TSMP retains a pretuned index's tuning
+// sample so a restored index can re-freeze fitted parameters after a
+// Compact:
 //
 //	"PIDS"  probe column → external id (n × int32), present when the ids
 //	        are not the column numbers
 //	"MUTA"  mutation epoch (uint64) and next AutoID assignment (int64),
 //	        present when either differs from its derived default
+//	"TSMP"  the retained tuning sample of a pretuned index: problem kind
+//	        (topk flag), k (int64), θ (float64), then the sample matrix
+//	        (r, m, r×m float64)
 //
-// A writer emits version 1 whenever neither section is needed, so
-// never-mutated snapshots stay byte-compatible with version-1 readers.
+// A writer emits version 1 whenever none of the optional sections is
+// needed, so plain snapshots stay byte-compatible with version-1 readers.
 //
-// Unknown sections are skipped (their checksum still verified), so later
-// versions can append sections without breaking older readers. A reader
-// fails loudly — never silently serves wrong results — on a bad magic, an
-// unsupported version, a checksum mismatch, a truncated stream, or any
-// structural inconsistency; allocation while reading is always bounded by
-// the bytes actually present, so a crafted header cannot balloon memory.
+// A reader fails loudly — never silently serves wrong results — on a bad
+// magic, an unsupported version, an unknown section tag, a checksum
+// mismatch, a truncated stream, or any structural inconsistency; allocation
+// while reading is always bounded by the bytes actually present, so a
+// crafted header cannot balloon memory. (Unknown tags are rejected rather
+// than skipped because the reader already rejects unknown versions: within
+// an accepted stream every tag is known, so an unknown one is corruption —
+// a flipped tag byte must not silently drop a section.)
 //
 // Lazily built per-bucket indexes (sorted lists, cover trees, L2AP,
 // signatures) are intentionally not persisted: they are cheap relative to
@@ -79,6 +86,7 @@ var (
 	tagProbe   = [4]byte{'P', 'R', 'O', 'B'}
 	tagIDs     = [4]byte{'P', 'I', 'D', 'S'}
 	tagMuta    = [4]byte{'M', 'U', 'T', 'A'}
+	tagTune    = [4]byte{'T', 'S', 'M', 'P'}
 	tagBuckets = [4]byte{'B', 'U', 'K', 'T'}
 	tagEnd     = [4]byte{'E', 'N', 'D', 0}
 )
@@ -115,8 +123,9 @@ func Write(w io.Writer, st *core.State) error {
 		return fmt.Errorf("snapshot: state has no probe matrix")
 	}
 	writeMuta := st.Epoch != 0 || st.NextID != defaultNextID(st)
+	writeTune := st.Pretuned && st.TuneSample != nil
 	version := uint32(Version)
-	if st.IDs != nil || writeMuta {
+	if st.IDs != nil || writeMuta || writeTune {
 		version = VersionIDs
 	}
 	bw := bufio.NewWriter(w)
@@ -154,6 +163,14 @@ func Write(w io.Writer, st *core.State) error {
 			binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(st.NextID)))
 			_, err := w.Write(buf[:])
 			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if writeTune {
+		tuneLen := uint64(1+8+8+8) + 8*uint64(st.TuneSample.R())*uint64(st.TuneSample.N())
+		if err := writeSection(bw, tagTune, tuneLen, func(w io.Writer) error {
+			return writeTuneSample(w, st)
 		}); err != nil {
 			return err
 		}
@@ -225,6 +242,21 @@ func writeProbe(w io.Writer, p *matrix.Matrix) error {
 	return matrix.WriteFloat64s(w, p.Data())
 }
 
+// writeTuneSample emits the TSMP payload: the problem a Pretune call
+// fitted (kind, k, θ) and the retained query sample.
+func writeTuneSample(w io.Writer, st *core.State) error {
+	var hdr [25]byte
+	hdr[0] = boolByte(st.TuneTopK)
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(st.TuneK)))
+	binary.LittleEndian.PutUint64(hdr[9:17], math.Float64bits(st.TuneTheta))
+	binary.LittleEndian.PutUint32(hdr[17:21], uint32(st.TuneSample.R()))
+	binary.LittleEndian.PutUint32(hdr[21:25], uint32(st.TuneSample.N()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return matrix.WriteFloat64s(w, st.TuneSample.Data())
+}
+
 func writeBuckets(w io.Writer, st *core.State) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(st.Buckets)))
@@ -285,7 +317,7 @@ func Read(r io.Reader) (*core.State, error) {
 		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
 	}
 	st := &core.State{}
-	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta bool
+	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune bool
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(br, tag[:]); err != nil {
@@ -333,6 +365,12 @@ func Read(r io.Reader) (*core.State, error) {
 				}
 				st.NextID = int32(next)
 			}
+		case tagTune:
+			if haveTune {
+				return nil, fmt.Errorf("snapshot: duplicate TSMP section")
+			}
+			haveTune = true
+			err = readTuneSample(sr, st)
 		case tagBuckets:
 			if haveBuckets {
 				return nil, fmt.Errorf("snapshot: duplicate BUKT section")
@@ -354,9 +392,13 @@ func Read(r io.Reader) (*core.State, error) {
 			}
 			return st, nil
 		default:
-			// Unknown section from a newer writer: skip, but still verify
-			// its checksum.
-			_, err = io.Copy(io.Discard, sr)
+			// The reader rejects any format version it does not know, so
+			// within an accepted stream every tag is known — an unknown
+			// tag means corruption (e.g. a flipped tag byte would turn a
+			// required or optional section into a silently skipped one).
+			// A future version that appends sections must also bump the
+			// version number, which this reader will refuse until taught.
+			return nil, fmt.Errorf("snapshot: unknown section %q", tag[:])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: section %q: %w", tag[:], err)
@@ -446,6 +488,34 @@ func readProbe(r io.Reader) (*matrix.Matrix, error) {
 		return nil, err
 	}
 	return matrix.FromData(rr, n, data)
+}
+
+// readTuneSample parses the TSMP payload. Dimensional plausibility is
+// checked here (bounded allocation); the semantic checks — sample dimension
+// versus the probe matrix, k/θ validity — run in core.FromState.
+func readTuneSample(r io.Reader, st *core.State) error {
+	var hdr [25]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	st.TuneTopK = hdr[0] != 0
+	st.TuneK = int(int64(binary.LittleEndian.Uint64(hdr[1:9])))
+	st.TuneTheta = math.Float64frombits(binary.LittleEndian.Uint64(hdr[9:17]))
+	rr := int(binary.LittleEndian.Uint32(hdr[17:21]))
+	m := int(binary.LittleEndian.Uint32(hdr[21:25]))
+	if rr < 1 || m < 1 || rr > maxDim || m > maxProbes {
+		return fmt.Errorf("implausible tuning sample dimensions %d×%d", rr, m)
+	}
+	hi, lo := bits.Mul64(uint64(rr), uint64(m))
+	if hi != 0 || lo > uint64(math.MaxInt)/8 {
+		return fmt.Errorf("tuning sample dimensions %d×%d overflow", rr, m)
+	}
+	data, err := matrix.ReadFloat64s(r, int(lo))
+	if err != nil {
+		return err
+	}
+	st.TuneSample, err = matrix.FromData(rr, m, data)
+	return err
 }
 
 func readBuckets(r io.Reader, st *core.State) error {

@@ -8,8 +8,8 @@
 // vectors; entry (i,j) of QᵀP is the inner product of query i and probe j.
 // LEMP solves two problems exactly:
 //
-//   - Above-θ: all entries with value ≥ θ (Index.AboveTheta), and
-//   - Row-Top-k: the k largest entries of every row (Index.RowTopK).
+//   - Above-θ: all entries with value ≥ θ (the AboveTheta option), and
+//   - Row-Top-k: the k largest entries of every row (the TopK option).
 //
 // It groups probe vectors into cache-sized buckets of similar length,
 // prunes whole buckets with a per-query local threshold, and solves a small
@@ -22,10 +22,19 @@
 //	probe, _ := lemp.MatrixFromVectors(itemFactors)
 //	index, _ := lemp.New(probe, lemp.Options{})
 //	query, _ := lemp.MatrixFromVectors(userFactors)
-//	top, _, _ := index.RowTopK(query, 10)
+//	res, _ := index.Retrieve(ctx, query, lemp.TopK(10))
+//	for _, row := range res.TopK { ... }
+//
+// Retrieve is the context-aware entry point for every mode; per-call policy
+// — algorithm, parallelism, tuning reuse, approximation, streaming — is
+// selected with functional options (TopK, AboveTheta, WithAlgorithm,
+// WithParallelism, WithTuningCache, Approx, Stream). The methods RowTopK,
+// AboveTheta, AboveThetaFunc and RowTopKApprox are thin wrappers over
+// Retrieve kept for convenience and compatibility.
 package lemp
 
 import (
+	"context"
 	"time"
 
 	"lemp/internal/core"
@@ -37,9 +46,9 @@ import (
 // column Probe).
 type Entry = retrieval.Entry
 
-// TopK holds a Row-Top-k result: TopK[i] lists query i's top entries by
-// decreasing value.
-type TopK = retrieval.TopK
+// TopKRows holds a Row-Top-k result: TopKRows[i] lists query i's top
+// entries by decreasing value.
+type TopKRows = retrieval.TopK
 
 // Stats reports wall-clock phases and pruning effectiveness of a run.
 type Stats = core.Stats
@@ -78,8 +87,8 @@ func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s)
 
 // Index is a LEMP index over a probe matrix, ready to answer Above-θ and
 // Row-Top-k queries. Build one with New; it is safe for concurrent reads
-// only through a single retrieval call at a time (use Options.Parallelism
-// for intra-call parallelism).
+// only through a single retrieval call at a time (use WithParallelism or
+// Options.Parallelism for intra-call parallelism).
 type Index struct {
 	inner *core.Index
 }
@@ -116,49 +125,69 @@ func (ix *Index) Buckets() []BucketInfo { return ix.inner.Buckets() }
 func (ix *Index) PrepTime() time.Duration { return ix.inner.PrepTime() }
 
 // AboveTheta returns every entry of QᵀP with value ≥ theta (θ > 0), in
-// unspecified order. For very large result sets prefer AboveThetaFunc,
-// which streams entries without materializing them.
+// unspecified order. It is a wrapper over Retrieve with the AboveTheta
+// option and a background context; for very large result sets prefer
+// streaming (AboveThetaFunc or the Stream option), which does not
+// materialize entries.
 func (ix *Index) AboveTheta(q *Matrix, theta float64) ([]Entry, Stats, error) {
-	var out []Entry
-	st, err := ix.inner.AboveTheta(q, theta, retrieval.Collect(&out))
-	return out, st, err
+	res, err := ix.Retrieve(context.Background(), q, AboveTheta(theta))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Entries, res.Stats, nil
 }
 
-// AboveThetaFunc streams every entry of QᵀP with value ≥ theta to emit.
-// The Entry passed to emit must not be retained.
+// AboveThetaFunc streams every entry of QᵀP with value ≥ theta to emit. It
+// is a wrapper over Retrieve with the AboveTheta and Stream options and a
+// background context. The Entry passed to emit must not be retained.
 func (ix *Index) AboveThetaFunc(q *Matrix, theta float64, emit func(Entry)) (Stats, error) {
-	return ix.inner.AboveTheta(q, theta, retrieval.Sink(emit))
+	res, err := ix.Retrieve(context.Background(), q, AboveTheta(theta), Stream(emit))
+	if err != nil {
+		return Stats{}, err
+	}
+	return res.Stats, nil
 }
 
 // RowTopK returns, for every query vector, its k probe vectors with the
 // largest inner products, by decreasing value (fewer than k when the index
-// holds fewer probes). Ties are broken arbitrarily.
-func (ix *Index) RowTopK(q *Matrix, k int) (TopK, Stats, error) {
-	return ix.inner.RowTopK(q, k)
+// holds fewer probes). Ties are broken arbitrarily. It is a wrapper over
+// Retrieve with the TopK option and a background context.
+func (ix *Index) RowTopK(q *Matrix, k int) (TopKRows, Stats, error) {
+	res, err := ix.Retrieve(context.Background(), q, TopK(k))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.TopK, res.Stats, nil
 }
 
-// ApproxOptions tune RowTopKApprox (cluster count, candidate expansion).
+// ApproxOptions tune approximate Row-Top-k (cluster count, candidate
+// expansion); see the Approx option.
 type ApproxOptions = core.ApproxOptions
 
 // RowTopKApprox answers Row-Top-k approximately by clustering the queries
 // and retrieving exactly only for cluster centroids (the scheme of
 // Koenigstein et al. the paper cites as composable with LEMP). Values are
 // exact inner products, but some true top-k members may be missing; use
-// Recall to quantify quality against an exact run.
-func (ix *Index) RowTopKApprox(q *Matrix, k int, opts ApproxOptions) (TopK, Stats, error) {
-	return ix.inner.RowTopKApprox(q, k, opts)
+// Recall to quantify quality against an exact run. It is a wrapper over
+// Retrieve with the TopK and Approx options and a background context.
+func (ix *Index) RowTopKApprox(q *Matrix, k int, opts ApproxOptions) (TopKRows, Stats, error) {
+	res, err := ix.Retrieve(context.Background(), q, TopK(k), Approx(opts))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.TopK, res.Stats, nil
 }
 
 // Recall returns the average fraction of exact top-k entries recovered by
 // an approximate run, per query.
-func Recall(exact, approx TopK) float64 { return core.Recall(exact, approx) }
+func Recall(exact, approx TopKRows) float64 { return core.Recall(exact, approx) }
 
 // MergeTopK k-way-merges Row-Top-k results obtained from disjoint shards of
 // one probe matrix into a single global result. Each part must hold one row
-// per query (sorted by decreasing value, as RowTopK returns them) with probe
-// ids already remapped to the global id space; merged rows keep the k
+// per query (sorted by decreasing value, as Row-Top-k returns them) with
+// probe ids already remapped to the global id space; merged rows keep the k
 // largest entries overall. It is the merge step used by sharded serving.
-func MergeTopK(k int, parts ...TopK) TopK { return retrieval.MergeTopK(k, parts...) }
+func MergeTopK(k int, parts ...TopKRows) TopKRows { return retrieval.MergeTopK(k, parts...) }
 
 // SortEntries orders entries canonically by (Query, Probe) ascending, the
 // deterministic order used when emitting Above-θ result sets.

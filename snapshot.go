@@ -49,7 +49,10 @@ func LoadIndex(r io.Reader, opts LoadOptions) (*Index, error) {
 		st.Opts.Parallelism = opts.Parallelism
 	}
 	if opts.Retune {
+		// Unfreezing discards the whole pretune decision, retained sample
+		// included: the loaded index behaves like a freshly built one.
 		st.Pretuned = false
+		st.TuneSample = nil
 	}
 	inner, err := core.FromState(st)
 	if err != nil {

@@ -147,7 +147,7 @@ func TestLoadIndexRejectsGarbage(t *testing.T) {
 
 // medianTopValue picks a θ that yields a non-trivial Above-θ result set:
 // the median of the per-query best values.
-func medianTopValue(top lemp.TopK) float64 {
+func medianTopValue(top lemp.TopKRows) float64 {
 	var vals []float64
 	for _, row := range top {
 		if len(row) > 0 && row[0].Value > 0 {
