@@ -81,6 +81,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 256, "maximum query rows per combined batch")
 	cacheEntries := flag.Int("cache", 65536, "result-cache capacity in result entries (0 or negative disables)")
 	pretuneK := flag.Int("pretune-k", 10, "k used by -save-snapshot's pretuning pass")
+	snapshotLists := flag.Bool("snapshot-lists", true, "with -save-snapshot, also persist the per-bucket sorted-list indexes (larger files; a restored server's first batch skips the list rebuild)")
 	compactFrac := flag.Float64("compact-frac", 0.25, "re-bucketize a shard when its delta mass (tombstones+overlay per live probe) exceeds this fraction (negative disables)")
 	maxUpdateOps := flag.Int("max-update-ops", 4096, "maximum ops per /v1/update batch (negative disables the limit)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request retrieval deadline; expired requests abort their shard scans mid-bucket and return 503 (0 disables)")
@@ -145,7 +146,7 @@ func main() {
 	}
 
 	if *saveSnapshot != "" {
-		saveSnapshots(srv, *saveSnapshot, *pretuneK)
+		saveSnapshots(srv, *saveSnapshot, *pretuneK, *snapshotLists)
 	}
 
 	probes, dim := srv.Sharded().N(), srv.Sharded().R()
@@ -282,8 +283,10 @@ func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *
 // saveSnapshots pretunes every shard on a sample of its own probes, then
 // writes one snapshot file per shard (atomically, via rename). Pretuning
 // freezes the fitted per-bucket parameters into the snapshots, so a later
-// -snapshot restart serves with zero tuning time.
-func saveSnapshots(srv *server.Server, path string, k int) {
+// -snapshot restart serves with zero tuning time; with lists enabled the
+// sorted-list indexes the pretuning pass built ride along, so the restart
+// also skips their first-use rebuild.
+func saveSnapshots(srv *server.Server, path string, k int, lists bool) {
 	start := time.Now()
 	ixs := srv.Sharded().Indexes()
 	for i, ix := range ixs {
@@ -291,13 +294,13 @@ func saveSnapshots(srv *server.Server, path string, k int) {
 			fail("pretuning shard %d: %v", i, err)
 		}
 	}
-	err := srv.WriteSnapshots(func(i, n int) (io.WriteCloser, error) {
+	err := srv.WriteSnapshotsWith(func(i, n int) (io.WriteCloser, error) {
 		name := path
 		if n > 1 {
 			name = fmt.Sprintf("%s.%d", path, i)
 		}
 		return newAtomicFile(name)
-	})
+	}, lemp.SnapshotOptions{IncludeLists: lists})
 	if err != nil {
 		fail("saving snapshots: %v", err)
 	}

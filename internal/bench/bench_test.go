@@ -22,6 +22,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"Figure 5", "Figure 6a", "Figure 6b", "Figure 7a,b", "Figure 7c-f",
 		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
 		"caching effects", "ablation",
+		"verification kernels",
 		"LEMP-LI", "Naive",
 	} {
 		if !strings.Contains(text, want) {

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lemp/internal/vecmath"
+)
+
+// Verification-kernel experiment: scalar (one Dot per candidate) versus the
+// blocked panel kernels that internal/core's verifier runs on, across the
+// dimensionality regimes the library targets and both candidate layouts the
+// verifier distinguishes — a contiguous run (LENGTH's prefix, evaluated
+// with DotBatch) and a strided subset (coordinate-method survivors,
+// evaluated with Dot8/Dot4 blocks). This is the microscopic view of the
+// speedup the BenchmarkVerify* benchmarks in internal/core measure at the
+// retrieval layer.
+
+// kernelRows is the bucket size the kernel experiment verifies against —
+// large enough to amortize timing overhead, small enough to stay
+// cache-resident like a real LEMP bucket.
+const kernelRows = 1024
+
+// kernels measures and prints the scalar vs blocked verification
+// throughput grid.
+func (r *Runner) kernels() error {
+	r.header("verification kernels (scalar vs blocked)")
+	fmt.Fprintf(r.cfg.Out, "\n%-22s %12s %12s %8s\n", "kernel", "scalar", "blocked", "speedup")
+	for _, dim := range []int{16, 64, 256} {
+		for _, layout := range []string{"contiguous", "strided"} {
+			scalar, blocked := measureKernelPair(dim, layout == "strided")
+			fmt.Fprintf(r.cfg.Out, "r=%-4d %-15s %12s %12s %7.2fx\n",
+				dim, layout, fmtDur(scalar), fmtDur(blocked),
+				float64(scalar)/float64(blocked))
+		}
+	}
+	fmt.Fprintln(r.cfg.Out)
+	return nil
+}
+
+// measureKernelPair times one (dimension, layout) cell, best of several
+// rounds so scheduler noise does not pollute the printed ratio.
+func measureKernelPair(dim int, strided bool) (scalar, blocked time.Duration) {
+	rng := rand.New(rand.NewSource(int64(dim)))
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	panel := make([]float64, kernelRows*dim)
+	for i := range panel {
+		panel[i] = rng.NormFloat64()
+	}
+	var cand []int32
+	if strided {
+		for lid := int32(0); lid < kernelRows; lid++ {
+			if rng.Intn(2) == 0 {
+				cand = append(cand, lid)
+			}
+		}
+	} else {
+		for lid := int32(0); lid < kernelRows; lid++ {
+			cand = append(cand, lid)
+		}
+	}
+	out := make([]float64, len(cand))
+	row := func(lid int32) []float64 { return panel[int(lid)*dim : (int(lid)+1)*dim] }
+
+	scalarPass := func() {
+		for j, lid := range cand {
+			out[j] = vecmath.Dot(q, row(lid))
+		}
+	}
+	blockedPass := func() {
+		if !strided {
+			vecmath.DotBatch(q, panel[:len(cand)*dim], out)
+			return
+		}
+		j := 0
+		for ; j+8 <= len(cand); j += 8 {
+			vecmath.Dot8(q, row(cand[j]), row(cand[j+1]), row(cand[j+2]), row(cand[j+3]),
+				row(cand[j+4]), row(cand[j+5]), row(cand[j+6]), row(cand[j+7]),
+				(*[8]float64)(out[j:j+8]))
+		}
+		for ; j+4 <= len(cand); j += 4 {
+			vecmath.Dot4(q, row(cand[j]), row(cand[j+1]), row(cand[j+2]), row(cand[j+3]),
+				(*[4]float64)(out[j:j+4]))
+		}
+		for ; j < len(cand); j++ {
+			out[j] = vecmath.Dot(q, row(cand[j]))
+		}
+	}
+
+	reps := 1 + (1<<22)/(len(cand)*dim+1) // ~4M elements per timed round
+	scalar, blocked = time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			scalarPass()
+		}
+		if d := time.Since(start) / time.Duration(reps); d < scalar {
+			scalar = d
+		}
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			blockedPass()
+		}
+		if d := time.Since(start) / time.Duration(reps); d < blocked {
+			blocked = d
+		}
+	}
+	return scalar, blocked
+}

@@ -52,7 +52,9 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 	}
 	start := time.Now()
 	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
-		ix.aboveWorker(c, qs, 0, qs.n(), theta, newScratch(ix.maxBucket, ix.r), emit, &st)
+		s := ix.getScratch()
+		ix.aboveWorker(c, qs, 0, qs.n(), theta, s, emit, &st)
+		ix.putScratch(s)
 	} else {
 		var mu sync.Mutex
 		lockedEmit := func(e retrieval.Entry) {
@@ -76,7 +78,8 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				s := newScratch(ix.maxBucket, ix.r)
+				s := ix.getScratch()
+				defer ix.putScratch(s)
 				ix.aboveWorker(c, qs, lo, hi, theta, s, lockedEmit, &stats[w])
 			}(w, lo, hi)
 		}
@@ -84,6 +87,8 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 		for _, ws := range stats {
 			st.Candidates += ws.Candidates
 			st.Results += ws.Results
+			st.BlockVerified += ws.BlockVerified
+			st.ScalarVerified += ws.ScalarVerified
 			st.ProcessedPairs += ws.ProcessedPairs
 			st.PrunedPairs += ws.PrunedPairs
 		}
@@ -98,9 +103,11 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 
 // aboveWorker processes queries [lo, hi) of the sorted query set against
 // all buckets, polling the call's context once per (bucket, query) pair.
+// The scan loop carries the bucket position bi, so the early-exit pruning
+// statistic is O(1) instead of a slice walk re-locating the bucket.
 func (ix *Index) aboveWorker(c *call, qs *querySet, lo, hi int, theta float64, s *scratch, emit retrieval.Sink, st *Stats) {
 	nq := int64(hi - lo)
-	for _, b := range ix.scan {
+	for bi, b := range ix.scan {
 		// θ_b(q) = θ/(‖q‖·l_b); for l_b = 0 this is +Inf and the
 		// bucket (zero vectors only) is pruned for every query.
 		var l2T0 float64
@@ -131,19 +138,8 @@ func (ix *Index) aboveWorker(c *call, qs *querySet, lo, hi int, theta float64, s
 		if processed == 0 {
 			// Even the longest query was pruned; later buckets have
 			// smaller l_b, so nothing else can qualify.
-			st.PrunedPairs += int64(len(ix.scan)-bucketIndex(ix.scan, b)-1) * nq
+			st.PrunedPairs += int64(len(ix.scan)-bi-1) * nq
 			break
 		}
 	}
-}
-
-// bucketIndex returns the position of b in buckets (small slice walk; only
-// used once per early exit for the pruning statistic).
-func bucketIndex(buckets []*bucket, b *bucket) int {
-	for i, x := range buckets {
-		if x == b {
-			return i
-		}
-	}
-	return -1
 }

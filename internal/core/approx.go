@@ -117,19 +117,42 @@ func (ix *Index) RowTopKApproxCtx(ctx context.Context, q *matrix.Matrix, k int, 
 	st.PrunedPairs += centroidStats.PrunedPairs
 
 	// Phase 3: answer each query exactly over its centroid's candidates.
+	// The candidate raw vectors are gathered into a reusable scratch panel
+	// (scaled from their bucket-resident unit directions, exactly how the
+	// old per-candidate path materialized them) and verified with one
+	// blocked DotBatch pass per query — no per-candidate allocation or
+	// lookup-table locking remains on this path.
 	start := time.Now()
 	heap := topk.New(kk)
+	locs := ix.probeLocations()
+	s := ix.getScratch()
+	defer ix.putScratch(s)
 	for i := 0; i < m; i++ {
 		if c.canceled() {
 			return nil, st, c.ctxErr()
 		}
-		qi := q.Vec(i)
 		cands := centroidTop[clusters.Assign[i]]
-		heap.Reset()
-		for _, e := range cands {
-			heap.Push(e.Probe, vecmath.Dot(qi, ix.probeVec(e.Probe)))
+		nc := len(cands)
+		if cap(s.panel) < nc*ix.r {
+			s.panel = make([]float64, nc*ix.r)
 		}
-		st.Candidates += int64(len(cands))
+		panel := s.panel[:nc*ix.r]
+		for j, e := range cands {
+			l := locs[int32(e.Probe)]
+			b := ix.scan[l.bucket]
+			vecmath.Scale(panel[j*ix.r:(j+1)*ix.r], b.dir(int(l.lid)), b.lens[l.lid])
+		}
+		if cap(s.vals) < nc {
+			s.vals = make([]float64, nc)
+		}
+		vals := s.vals[:nc]
+		vecmath.DotBatch(q.Vec(i), panel, vals)
+		heap.Reset()
+		for j, e := range cands {
+			heap.Push(e.Probe, vals[j])
+		}
+		st.Candidates += int64(nc)
+		st.BlockVerified += int64(nc)
 		items := heap.Items()
 		row := make([]retrieval.Entry, len(items))
 		for t, it := range items {
@@ -143,12 +166,12 @@ func (ix *Index) RowTopKApproxCtx(ctx context.Context, q *matrix.Matrix, k int, 
 	return out, st, nil
 }
 
-// probeVec reconstructs the raw probe vector with the given external id.
-// Approximate retrieval needs random access by id; the lookup is built
-// lazily on first use and invalidated by mutations (which rebuild the scan
-// order it indexes into).
-func (ix *Index) probeVec(id int) []float64 {
+// probeLocations returns the lazy external-id → (scan bucket, lid) lookup,
+// building it under the lock on first use. Mutations invalidate it (they
+// rebuild the scan order it indexes into).
+func (ix *Index) probeLocations() map[int32]probeLoc {
 	ix.probeMu.Lock()
+	defer ix.probeMu.Unlock()
 	if ix.probeLocs == nil {
 		loc := make(map[int32]probeLoc, ix.LiveN())
 		for bi, b := range ix.scan {
@@ -161,12 +184,7 @@ func (ix *Index) probeVec(id int) []float64 {
 		}
 		ix.probeLocs = loc
 	}
-	l := ix.probeLocs[int32(id)]
-	ix.probeMu.Unlock()
-	b := ix.scan[l.bucket]
-	raw := make([]float64, ix.r)
-	vecmath.Scale(raw, b.dir(int(l.lid)), b.lens[l.lid])
-	return raw
+	return ix.probeLocs
 }
 
 type probeLoc struct {

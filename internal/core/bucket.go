@@ -56,9 +56,16 @@ func (b *bucket) dir(lid int) []float64 {
 	return b.dirs[lid*b.r : (lid+1)*b.r : (lid+1)*b.r]
 }
 
-// ensureLists builds the sorted-list index on first use.
+// ensureLists builds the sorted-list index on first use. A bucket restored
+// from a snapshot that persisted its lists (SLST section) arrives with
+// b.lists pre-populated — installed single-threaded before the index is
+// published — and skips the build.
 func (b *bucket) ensureLists() *sortedLists {
-	b.listsOnce.Do(func() { b.lists = buildLists(b) })
+	b.listsOnce.Do(func() {
+		if b.lists == nil {
+			b.lists = buildLists(b)
+		}
+	})
 	return b.lists
 }
 

@@ -38,10 +38,23 @@ func runCoord(b *bucket, qdir []float64, thetaB float64, phi int, s *scratch) {
 	if s.rangeEnd[first] == s.rangeStart[first] {
 		return // an empty feasible range excludes every vector
 	}
-	// Pass 1: the smallest range initializes the CP array.
+	// Pass 1: the smallest range initializes the CP array. The scatter
+	// loops run four independent counter updates per iteration (local ids
+	// are unique within one list, so the four slots never collide and the
+	// stores overlap instead of serializing).
 	_, lids := lists.list(int(s.focus[first]))
-	for i := s.rangeStart[first]; i < s.rangeEnd[first]; i++ {
-		s.cp[lids[i]] = 1
+	{
+		i, end := s.rangeStart[first], s.rangeEnd[first]
+		for ; i+4 <= end; i += 4 {
+			l0, l1, l2, l3 := lids[i], lids[i+1], lids[i+2], lids[i+3]
+			s.cp[l0] = 1
+			s.cp[l1] = 1
+			s.cp[l2] = 1
+			s.cp[l3] = 1
+		}
+		for ; i < end; i++ {
+			s.cp[lids[i]] = 1
+		}
 	}
 	// Remaining ranges increment.
 	for j := 0; j < nf; j++ {
@@ -49,7 +62,15 @@ func runCoord(b *bucket, qdir []float64, thetaB float64, phi int, s *scratch) {
 			continue
 		}
 		_, l := lists.list(int(s.focus[j]))
-		for i := s.rangeStart[j]; i < s.rangeEnd[j]; i++ {
+		i, end := s.rangeStart[j], s.rangeEnd[j]
+		for ; i+4 <= end; i += 4 {
+			l0, l1, l2, l3 := l[i], l[i+1], l[i+2], l[i+3]
+			s.cp[l0]++
+			s.cp[l1]++
+			s.cp[l2]++
+			s.cp[l3]++
+		}
+		for ; i < end; i++ {
 			s.cp[l[i]]++
 		}
 	}

@@ -314,27 +314,28 @@ func (ix *Index) WithUpdates(ups []ProbeUpdate) (*Index, []int32, error) {
 // lazy-once fields start fresh.
 func (ix *Index) shallowClone() *Index {
 	return &Index{
-		id:         indexSeq.Add(1),
-		layout:     ix.layout,
-		opts:       ix.opts,
-		r:          ix.r,
-		n:          ix.n,
-		probe:      ix.probe,
-		idBase:     ix.idBase,
-		probeIDs:   ix.probeIDs,
-		mainLoc:    ix.mainLoc,
-		buckets:    ix.buckets,
-		scan:       ix.scan,
-		maxBucket:  ix.maxBucket,
-		prepTime:   ix.prepTime,
-		pretuned:   ix.pretuned,
-		tuneProb:   ix.tuneProb,
-		tuneSample: ix.tuneSample,
-		epoch:      ix.epoch,
-		nextID:     ix.nextID,
-		dead:       ix.dead,
-		overlay:    ix.overlay,
-		delta:      ix.delta,
+		id:              indexSeq.Add(1),
+		layout:          ix.layout,
+		opts:            ix.opts,
+		r:               ix.r,
+		n:               ix.n,
+		probe:           ix.probe,
+		idBase:          ix.idBase,
+		probeIDs:        ix.probeIDs,
+		mainLoc:         ix.mainLoc,
+		buckets:         ix.buckets,
+		scan:            ix.scan,
+		maxBucket:       ix.maxBucket,
+		prepTime:        ix.prepTime,
+		pretuned:        ix.pretuned,
+		tuneProb:        ix.tuneProb,
+		tuneSample:      ix.tuneSample,
+		pretunedOverlay: ix.pretunedOverlay,
+		epoch:           ix.epoch,
+		nextID:          ix.nextID,
+		dead:            ix.dead,
+		overlay:         ix.overlay,
+		delta:           ix.delta,
 	}
 }
 
@@ -359,6 +360,7 @@ func (ix *Index) rebuildDelta() {
 	ix.probeLocs = nil
 	if len(ix.overlay) == 0 {
 		ix.delta = nil
+		ix.pretunedOverlay = 0
 		ix.refreshScan()
 		return
 	}
@@ -376,6 +378,47 @@ func (ix *Index) rebuildDelta() {
 		b.delta = true
 	}
 	ix.refreshScan()
+	ix.pretuneDelta()
+}
+
+// pretuneDeltaMinOverlay is the overlay size below which pretuneDelta does
+// nothing: scanning a handful of vectors costs about the same under any
+// per-bucket method, so fitting parameters for them would charge every
+// small mutation batch a tuning pass that cannot pay for itself. Above it,
+// delta buckets are big enough that a bad default method shows up in every
+// retrieval until the next Compact.
+const pretuneDeltaMinOverlay = 32
+
+// pretuneDelta fits per-bucket parameters for freshly built delta buckets
+// when per-call tuning is frozen, reusing the retained pretune sample.
+// Without it a pretuned index's overlay runs on default parameters until the
+// next Compact — heavy update churn would keep the hottest (freshest) probes
+// on the least-tuned buckets indefinitely, since frozen tuning means no
+// retrieval call ever re-fits them. Main buckets keep their frozen fit
+// untouched. Results are unaffected either way (tuning only selects the
+// per-bucket method); the cost, like Compact's re-freeze, lands in PrepTime
+// and is bounded three ways: tiny overlays skip tuning entirely, the
+// restricted tuner stops its scan at the deepest delta bucket, and re-fits
+// are geometrically amortized — the overlay must grow 1.5× past the size it
+// had at the last fit before another pass runs, so a churn sequence of B
+// single-op batches pays O(log B) tuning passes, not B. Between fits the
+// freshly rebuilt delta buckets run on defaults, which the growth bound
+// keeps within a constant factor of their tuned size.
+func (ix *Index) pretuneDelta() {
+	if !ix.pretuned || len(ix.delta) == 0 || len(ix.overlay) < pretuneDeltaMinOverlay ||
+		len(ix.overlay)*2 < ix.pretunedOverlay*3 ||
+		ix.tuneProb == nil || ix.tuneSample == nil ||
+		!ix.hasTunableParams() || ix.LiveN() == 0 {
+		return
+	}
+	start := time.Now()
+	only := make(map[*bucket]struct{}, len(ix.delta))
+	for _, b := range ix.delta {
+		only[b] = struct{}{}
+	}
+	ix.tuneSubset(newCall(nil, ix.opts, nil), prepareQueries(ix.tuneSample), ix.tuneProb, only)
+	ix.pretunedOverlay = len(ix.overlay)
+	ix.prepTime += time.Since(start)
 }
 
 // refreshScan merges main and delta buckets into the decreasing-l_b order
@@ -480,6 +523,7 @@ func (ix *Index) Compact() {
 	ix.dead = nil
 	ix.overlay = nil
 	ix.delta = nil
+	ix.pretunedOverlay = 0
 	ix.probeLocs = nil
 	ix.buckets = bucketize(probe, ix.explicitIDs(), ix.opts.ShrinkFactor, ix.opts.MinBucketSize, ix.bucketCap())
 	ix.refreshScan()

@@ -47,11 +47,27 @@ func runIncr(b *bucket, qdir []float64, qlen, theta, thetaB float64, phi int, s 
 	for _, f := range s.focus {
 		qFsq += qdir[f] * qdir[f]
 	}
-	// Pass 1: the smallest range initializes the extended CP array.
+	// Pass 1: the smallest range initializes the extended CP array. Like
+	// COORD's counter scatter, the loops process four list entries per
+	// iteration with independent accumulator slots (lids are unique within
+	// a list), so the two FMAs per entry overlap across entries.
 	{
 		qf := qdir[s.focus[first]]
 		vals, lids := lists.list(int(s.focus[first]))
-		for i := s.rangeStart[first]; i < s.rangeEnd[first]; i++ {
+		i, end := s.rangeStart[first], s.rangeEnd[first]
+		for ; i+4 <= end; i += 4 {
+			v0, v1, v2, v3 := vals[i], vals[i+1], vals[i+2], vals[i+3]
+			l0, l1, l2, l3 := lids[i], lids[i+1], lids[i+2], lids[i+3]
+			s.cpdot[l0] = qf * v0
+			s.cpdot[l1] = qf * v1
+			s.cpdot[l2] = qf * v2
+			s.cpdot[l3] = qf * v3
+			s.cpsq[l0] = v0 * v0
+			s.cpsq[l1] = v1 * v1
+			s.cpsq[l2] = v2 * v2
+			s.cpsq[l3] = v3 * v3
+		}
+		for ; i < end; i++ {
 			v := vals[i]
 			lid := lids[i]
 			s.cpdot[lid] = qf * v
@@ -66,7 +82,20 @@ func runIncr(b *bucket, qdir []float64, qlen, theta, thetaB float64, phi int, s 
 		}
 		qf := qdir[s.focus[j]]
 		vals, lids := lists.list(int(s.focus[j]))
-		for i := s.rangeStart[j]; i < s.rangeEnd[j]; i++ {
+		i, end := s.rangeStart[j], s.rangeEnd[j]
+		for ; i+4 <= end; i += 4 {
+			v0, v1, v2, v3 := vals[i], vals[i+1], vals[i+2], vals[i+3]
+			l0, l1, l2, l3 := lids[i], lids[i+1], lids[i+2], lids[i+3]
+			s.cpdot[l0] += qf * v0
+			s.cpdot[l1] += qf * v1
+			s.cpdot[l2] += qf * v2
+			s.cpdot[l3] += qf * v3
+			s.cpsq[l0] += v0 * v0
+			s.cpsq[l1] += v1 * v1
+			s.cpsq[l2] += v2 * v2
+			s.cpsq[l3] += v3 * v3
+		}
+		for ; i < end; i++ {
 			v := vals[i]
 			lid := lids[i]
 			s.cpdot[lid] += qf * v

@@ -10,7 +10,6 @@ import (
 	"lemp/internal/lsh"
 	"lemp/internal/matrix"
 	"lemp/internal/retrieval"
-	"lemp/internal/vecmath"
 )
 
 // Index is a LEMP index over a probe matrix P: the preprocessing phase of
@@ -62,10 +61,20 @@ type Index struct {
 	pretuned   bool
 	tuneProb   any
 	tuneSample *matrix.Matrix
+	// pretunedOverlay is the overlay size at the last delta-bucket pretune
+	// (delta.go): the overlay must grow 1.5× past it before another fit
+	// runs, amortizing per-batch tuning cost under churn.
+	pretunedOverlay int
 
 	lshOnce sync.Once
 	hasher  *lsh.Hasher
 	table   *lsh.Table
+
+	// scratchPool recycles per-worker scratch space across retrieval calls
+	// (see getScratch). Copy-on-write derivations start with an empty pool;
+	// stale sizings are rejected at Get time, so the pool needs no explicit
+	// invalidation when the bucket layout changes.
+	scratchPool sync.Pool
 
 	// Lazy external-id → (scan bucket, lid) lookup for RowTopKApprox,
 	// invalidated by mutations.
@@ -298,15 +307,17 @@ func (ix *Index) gather(b *bucket, alg Algorithm, phi int, qi int32, qdir []floa
 
 // verifyAbove computes exact inner products for the candidates of one
 // (query, bucket) pair and emits entries passing θ (line 16 of Algorithm 1).
-// Tombstoned main-bucket entries are skipped before the dot product.
+// Tombstoned main-bucket entries are dropped before the blocked dot-product
+// pass (verify.go); the θ filter runs over the block results. Each emitted
+// value is (q̄ᵀp̄)·‖q‖·‖p‖, multiplied in the same order as the scalar
+// verifier, so results are byte-identical to the per-candidate Dot path.
 func (ix *Index) verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
 	st.Candidates += int64(len(s.cand))
 	s.work += int64(len(s.cand)) * int64(b.r)
-	for _, lid := range s.cand {
-		if ix.deadSkip(b, int(lid)) {
-			continue
-		}
-		v := vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
+	ix.compactLiveCands(b, s)
+	verifyDots(b, qdir, s, st)
+	for i, lid := range s.cand {
+		v := s.vals[i] * qlen * b.lens[lid]
 		if v >= theta {
 			st.Results++
 			emit(retrieval.Entry{Query: int(origID), Probe: int(b.ids[lid]), Value: v})

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // sortedLists is the per-bucket sorted-list index of §4.2 (Fig. 4c): for
 // each coordinate f, the bucket's normalized values p̄_f paired with their
@@ -37,6 +41,45 @@ func buildLists(b *bucket) *sortedLists {
 // list returns the value and id arrays of coordinate f.
 func (sl *sortedLists) list(f int) (vals []float64, lids []int32) {
 	return sl.vals[f*sl.n : (f+1)*sl.n], sl.lids[f*sl.n : (f+1)*sl.n]
+}
+
+// checkLists verifies a restored sorted-list index (snapshot SLST section)
+// against the bucket's directions: every coordinate list must be a
+// permutation of the n local ids, sorted by non-increasing value, with each
+// value bit-equal to the direction entry it claims to index. These three
+// invariants are exactly what scanRange and the COORD/INCR/TA scans rely
+// on, so a list index passing them prunes identically to a rebuilt one
+// (ties may order differently, which no scan depends on). seen must have at
+// least n elements; it is clobbered.
+func checkLists(vals []float64, lids []int32, dirs []float64, n, r int, seen []bool) error {
+	for f := 0; f < r; f++ {
+		lv := vals[f*n : (f+1)*n]
+		ll := lids[f*n : (f+1)*n]
+		for i := 0; i < n; i++ {
+			seen[i] = false
+		}
+		prev := math.Inf(1)
+		for i := 0; i < n; i++ {
+			lid := ll[i]
+			if lid < 0 || int(lid) >= n {
+				return fmt.Errorf("list %d entry %d: local id %d out of range [0,%d)", f, i, lid, n)
+			}
+			if seen[lid] {
+				return fmt.Errorf("list %d: local id %d appears twice", f, lid)
+			}
+			seen[lid] = true
+			v := lv[i]
+			if !(v <= prev) { // also rejects NaN
+				return fmt.Errorf("list %d entry %d: value %v above predecessor %v (not sorted decreasingly)", f, i, v, prev)
+			}
+			prev = v
+			if v != dirs[int(lid)*r+f] {
+				return fmt.Errorf("list %d entry %d: value %v does not match direction %v of local id %d",
+					f, i, v, dirs[int(lid)*r+f], lid)
+			}
+		}
+	}
+	return nil
 }
 
 // scanRange returns the half-open index range [start, end) of list f whose

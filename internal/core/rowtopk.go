@@ -10,7 +10,6 @@ import (
 	"lemp/internal/matrix"
 	"lemp/internal/retrieval"
 	"lemp/internal/topk"
-	"lemp/internal/vecmath"
 )
 
 // RowTopK retrieves, for every query vector, the k probe vectors with the
@@ -56,7 +55,9 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 	}
 	start := time.Now()
 	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
-		ix.topkWorker(c, qs, 0, qs.n(), k, newScratch(ix.maxBucket, ix.r), out, &st)
+		s := ix.getScratch()
+		ix.topkWorker(c, qs, 0, qs.n(), k, s, out, &st)
+		ix.putScratch(s)
 	} else {
 		workers := c.opts.Parallelism
 		stats := make([]Stats, workers)
@@ -74,7 +75,8 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				s := newScratch(ix.maxBucket, ix.r)
+				s := ix.getScratch()
+				defer ix.putScratch(s)
 				ix.topkWorker(c, qs, lo, hi, k, s, out, &stats[w])
 			}(w, lo, hi)
 		}
@@ -82,6 +84,8 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 		for _, ws := range stats {
 			st.Candidates += ws.Candidates
 			st.Results += ws.Results
+			st.BlockVerified += ws.BlockVerified
+			st.ScalarVerified += ws.ScalarVerified
 			st.ProcessedPairs += ws.ProcessedPairs
 			st.PrunedPairs += ws.PrunedPairs
 		}
@@ -152,12 +156,14 @@ func (ix *Index) topkWorker(c *call, qs *querySet, lo, hi, k int, s *scratch, ou
 			ix.gather(b, alg, phi, int32(qi), qdir, 1, theta, thetaB, 0, s)
 			st.Candidates += int64(len(s.cand))
 			s.work += int64(len(s.cand)) * int64(ix.r)
-			for _, lid := range s.cand {
-				if ix.deadSkip(b, int(lid)) {
-					continue
-				}
-				v := vecmath.Dot(qdir, b.dir(int(lid))) * b.lens[lid]
-				heap.Push(int(b.ids[lid]), v)
+			// Blocked verification (verify.go): drop tombstones, compute
+			// the block dot products, then apply the heap per block
+			// result. v = (q̄ᵀp̄)·‖p‖ exactly as the scalar path computed
+			// it.
+			ix.compactLiveCands(b, s)
+			verifyDots(b, qdir, s, st)
+			for i, lid := range s.cand {
+				heap.Push(int(b.ids[lid]), s.vals[i]*b.lens[lid])
 			}
 		}
 		items := heap.Items()

@@ -19,7 +19,14 @@ type scratch struct {
 	taSeen []int32      // bucket-TA seen stamps (its own array: no collisions)
 	taHeap []taFrontier // bucket-TA frontier heap storage, reused per call
 
-	cand []int32 // candidate local ids of the current (query, bucket) pair
+	cand []int32   // candidate local ids of the current (query, bucket) pair
+	vals []float64 // blocked-verification dot products, parallel to cand
+
+	// panel is the gathered row-panel of the blocked re-rank path
+	// (RowTopKApprox): candidate raw vectors copied contiguously so one
+	// DotBatch pass verifies them. Reused across queries and pooled with
+	// the scratch.
+	panel []float64
 
 	focus      []int32 // focus coordinates, by decreasing |q̄_f|
 	focusAbs   []float64
@@ -34,6 +41,12 @@ type scratch struct {
 	sig      uint64 // cached query signature
 
 	work int64 // deterministic cost counter for TuneByCost
+
+	// Sizing the scratch was built for, checked when a pooled scratch is
+	// handed to a call: an index whose bucket layout grew past it discards
+	// it instead of reusing undersized arrays.
+	maxBucket int
+	r         int
 }
 
 // taFrontier is one active sorted list of the bucket-TA scan: its current
@@ -57,8 +70,33 @@ func newScratch(maxBucket, r int) *scratch {
 		rangeEnd:   make([]int, r),
 		l2:         l2ap.NewScratch(maxBucket, r),
 		sigQuery:   -1,
+		maxBucket:  maxBucket,
+		r:          r,
 	}
 }
+
+// getScratch hands out a pooled per-worker scratch, falling back to a fresh
+// allocation when the pool is empty or the index's bucket layout outgrew the
+// pooled sizing (after delta rebuilds). Pooling keeps steady-state serving
+// load allocation-free: repeated retrieval calls on one index stop paying
+// the O(maxBucket) scratch setup per call.
+func (ix *Index) getScratch() *scratch {
+	if v := ix.scratchPool.Get(); v != nil {
+		s := v.(*scratch)
+		if s.maxBucket >= ix.maxBucket && s.r == ix.r {
+			// Per-call caches must not leak across calls: the BLSH
+			// signature is keyed by a query index whose meaning is
+			// call-local, and the cost counter restarts per call.
+			s.sigQuery = -1
+			s.work = 0
+			return s
+		}
+	}
+	return newScratch(ix.maxBucket, ix.r)
+}
+
+// putScratch returns a scratch to the pool once its worker is done.
+func (ix *Index) putScratch(s *scratch) { ix.scratchPool.Put(s) }
 
 // selectFocus fills s.focus with the φ coordinates of q̄ having the largest
 // absolute values (§4.2: large coordinates give the smallest feasible

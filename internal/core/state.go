@@ -45,8 +45,11 @@ type State struct {
 
 // BucketState is the serializable state of one probe bucket: the sorted
 // membership (§3.2) and the tuned algorithm-selection parameters (§4.4).
-// Lazily built per-bucket indexes (sorted lists, trees, …) are not part of
-// the state; they are rebuilt lazily after a restore.
+// Most lazily built per-bucket indexes (trees, L2AP, signatures) are not
+// part of the state and are rebuilt lazily after a restore; the sorted-list
+// index — the one COORD/INCR/TA rebuild on a restored server's first batch,
+// dominating post-restore latency — can optionally ride along (ListVals/
+// ListLids, persisted as the snapshot SLST section).
 type BucketState struct {
 	IDs   []int32   // original probe column numbers, by decreasing length
 	Lens  []float64 // vector lengths, decreasing
@@ -54,6 +57,14 @@ type BucketState struct {
 	Tuned bool
 	TB    float64
 	Phi   int
+
+	// Sorted-list index (§4.2, Fig. 4c), both len(IDs) × r in
+	// coordinate-major layout (list f occupies [f·n, (f+1)·n)), or nil when
+	// the bucket's lists were never built. FromState verifies they are
+	// exactly what buildLists would produce from Dirs — a corrupted or
+	// hand-edited list index fails to load rather than mis-pruning.
+	ListVals []float64
+	ListLids []int32
 }
 
 // State exports the index's serializable state. The contained slices alias
@@ -98,6 +109,10 @@ func (ix *Index) State() *State {
 			Tuned: b.tuned,
 			TB:    b.tb,
 			Phi:   b.phi,
+		}
+		if b.lists != nil {
+			st.Buckets[i].ListVals = b.lists.vals
+			st.Buckets[i].ListLids = b.lists.lids
 		}
 	}
 	return st
@@ -174,6 +189,7 @@ func FromState(st *State) (*Index, error) {
 	}
 	ix.buckets = make([]*bucket, len(st.Buckets))
 	seen := make([]bool, n)
+	var listSeen []bool // per-list permutation check scratch, sized on demand
 	total := 0
 	prevLen := math.Inf(1)
 	for i, bs := range st.Buckets {
@@ -234,6 +250,19 @@ func FromState(st *State) (*Index, error) {
 			tuned: bs.Tuned,
 			tb:    bs.TB,
 			phi:   bs.Phi,
+		}
+		if bs.ListVals != nil || bs.ListLids != nil {
+			if len(bs.ListVals) != size*r || len(bs.ListLids) != size*r {
+				return nil, fmt.Errorf("core: bucket %d sorted-list shape mismatch: %d vals, %d lids, want %d each",
+					i, len(bs.ListVals), len(bs.ListLids), size*r)
+			}
+			if len(listSeen) < size {
+				listSeen = make([]bool, size)
+			}
+			if err := checkLists(bs.ListVals, bs.ListLids, bs.Dirs, size, r, listSeen); err != nil {
+				return nil, fmt.Errorf("core: bucket %d sorted lists: %w", i, err)
+			}
+			b.lists = &sortedLists{n: size, vals: bs.ListVals, lids: bs.ListLids}
 		}
 		ix.buckets[i] = b
 		if size > ix.maxBucket {

@@ -15,6 +15,15 @@ type Stats struct {
 	Candidates int64
 	Results    int64
 
+	// BlockVerified and ScalarVerified split the live verified candidates
+	// by kernel: block-verified candidates went through the panel kernels
+	// (DotBatch over a contiguous run, or 8/4-wide strided blocks), scalar-
+	// verified ones were the ragged tail handled by plain Dot. Their sum
+	// can undershoot Candidates: tombstoned candidates are dropped before
+	// verification and counted in neither.
+	BlockVerified  int64
+	ScalarVerified int64
+
 	// ProcessedPairs and PrunedPairs count (query, bucket) combinations
 	// that were processed vs. skipped because the local threshold
 	// exceeded 1 (line 13 of Algorithm 1).
@@ -48,6 +57,8 @@ func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
 	s.Candidates += o.Candidates
 	s.Results += o.Results
+	s.BlockVerified += o.BlockVerified
+	s.ScalarVerified += o.ScalarVerified
 	s.ProcessedPairs += o.ProcessedPairs
 	s.PrunedPairs += o.PrunedPairs
 	s.Tunings += o.Tunings

@@ -9,7 +9,6 @@ import (
 
 	"lemp/internal/matrix"
 	"lemp/internal/topk"
-	"lemp/internal/vecmath"
 )
 
 // Sample-based algorithm selection (§4.4). For a small sample of query
@@ -126,11 +125,44 @@ type observation struct {
 // mid-sample and returns the context error with every bucket left untuned
 // (the next call re-tunes), so the index stays fully usable.
 func (ix *Index) tune(c *call, qs *querySet, prob any) error {
+	return ix.tuneSubset(c, qs, prob, nil)
+}
+
+// tuneSubset is tune restricted to a set of buckets: only buckets in `only`
+// (nil = all) are reset, observed and fitted. The Row-Top-k sample still
+// walks the scan prefix up to the deepest target bucket to advance the
+// running-threshold trajectory — the observations must be taken at the
+// thresholds a real run would see — but skips the per-bucket cost
+// measurements everywhere else and stops once no target bucket remains, so
+// a restricted pass costs O(scan prefix), not O(index). Delta-layer
+// pretuning (delta.go) uses this to fit freshly built overlay buckets from
+// the retained pretune sample without disturbing the frozen main-bucket
+// parameters.
+func (ix *Index) tuneSubset(c *call, qs *querySet, prob any, only map[*bucket]struct{}) error {
+	target := func(b *bucket) bool {
+		if only == nil {
+			return true
+		}
+		_, ok := only[b]
+		return ok
+	}
+	lastTarget := len(ix.scan) - 1
+	if only != nil {
+		lastTarget = -1
+		for bi, b := range ix.scan {
+			if target(b) {
+				lastTarget = bi
+			}
+		}
+	}
 	for _, b := range ix.scan {
-		b.tuned = false
+		if target(b) {
+			b.tuned = false
+		}
 	}
 	sample := sampleIndices(qs.n(), c.opts.SampleQueries)
-	s := newScratch(ix.maxBucket, ix.r)
+	s := ix.getScratch()
+	defer ix.putScratch(s)
 	obs := make([][]observation, len(ix.scan))
 
 	switch p := prob.(type) {
@@ -142,6 +174,9 @@ func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 			}
 			qdir := qs.dir(qi)
 			for bi, b := range ix.scan {
+				if bi > lastTarget {
+					break // no target bucket remains
+				}
 				if c.canceled() {
 					return c.ctxErr()
 				}
@@ -149,7 +184,9 @@ func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 				if thetaB > 1 {
 					break // buckets are ordered by decreasing l_b
 				}
-				obs[bi] = append(obs[bi], ix.observe(c, b, qdir, qlen, p.theta, thetaB, s))
+				if target(b) {
+					obs[bi] = append(obs[bi], ix.observe(c, b, qdir, qlen, p.theta, thetaB, s))
+				}
 			}
 		}
 	case tuneTopK:
@@ -160,6 +197,7 @@ func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 		if kk == 0 {
 			break
 		}
+		var trajStats Stats // trajectory verification is not a run; discard
 		heap := topk.New(kk)
 		for _, qi := range sample {
 			qlen := qs.lens[qi]
@@ -169,6 +207,9 @@ func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 			qdir := qs.dir(qi)
 			heap.Reset()
 			for bi, b := range ix.scan {
+				if bi > lastTarget {
+					break // trajectory past the deepest target is unused
+				}
 				if c.canceled() {
 					return c.ctxErr()
 				}
@@ -192,25 +233,27 @@ func (ix *Index) tune(c *call, qs *querySet, prob any) error {
 				// Coordinate methods only ever run with
 				// θ_b ∈ (0,1]; below that resolve() forces
 				// LENGTH, so there is nothing to measure.
-				if thetaB > 0 {
+				if thetaB > 0 && target(b) {
 					obs[bi] = append(obs[bi], ix.observe(c, b, qdir, 1, theta, thetaB, s))
 				}
 				// Advance the running threshold with an exact
 				// LENGTH pass (the sample must follow the same
-				// θ′ trajectory as a real run).
+				// θ′ trajectory as a real run), verified with the
+				// same blocked kernels as the real run.
 				runLength(b, theta, 1, s)
-				for _, lid := range s.cand {
-					if ix.deadSkip(b, int(lid)) {
-						continue
-					}
-					heap.Push(int(b.ids[lid]), vecmath.Dot(qdir, b.dir(int(lid)))*b.lens[lid])
+				ix.compactLiveCands(b, s)
+				verifyDots(b, qdir, s, &trajStats)
+				for i, lid := range s.cand {
+					heap.Push(int(b.ids[lid]), s.vals[i]*b.lens[lid])
 				}
 			}
 		}
 	}
 
 	for bi, b := range ix.scan {
-		ix.fitBucketFor(c.opts, b, obs[bi])
+		if target(b) {
+			ix.fitBucketFor(c.opts, b, obs[bi])
+		}
 	}
 	return nil
 }
@@ -228,9 +271,14 @@ func (ix *Index) observe(c *call, b *bucket, qdir []float64, qlen, theta, thetaB
 		gather()
 		s.work += int64(len(s.cand)) * int64(b.r)
 		if !byCost {
+			// Verify with the blocked kernels so the measured cost
+			// reflects what a real run's verification will pay.
+			var mst Stats
+			ix.compactLiveCands(b, s)
+			verifyDots(b, qdir, s, &mst)
 			var acc float64
-			for _, lid := range s.cand {
-				acc += vecmath.Dot(qdir, b.dir(int(lid))) * qlen * b.lens[lid]
+			for i, lid := range s.cand {
+				acc += s.vals[i] * qlen * b.lens[lid]
 			}
 			verifySink.Store(math.Float64bits(acc)) // defeat dead-code elimination
 		}

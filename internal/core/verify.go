@@ -1,0 +1,90 @@
+package core
+
+import (
+	"slices"
+
+	"lemp/internal/vecmath"
+)
+
+// Blocked verification. Candidate generation prunes, but every surviving
+// candidate still pays an exact inner product (§3.2, line 16 of Algorithm 1),
+// and once thresholds are moderate that verification dominates retrieval
+// time. Instead of one vecmath.Dot call per candidate, the verifier:
+//
+//  1. compacts the candidate list to live entries in place (tombstone
+//     filtering moves out of the dot-product loop);
+//  2. detects the common contiguous-ascending case — LENGTH's prefix and
+//     the whole-bucket fallback produce lids 0..c-1 — and runs one DotBatch
+//     panel pass directly over b.dirs with zero gathering (the candidate set
+//     is literally a dense matrix–vector product there);
+//  3. otherwise verifies in 8/4-wide blocks with vecmath.Dot8/Dot4 over the
+//     strided rows in generator order, falling back to scalar Dot only for
+//     the ragged tail. Candidates are deliberately NOT sorted first:
+//     buckets are sized to stay cache-resident (Options.CacheBytes), so a
+//     sort buys no locality while costing O(c log c) per (query, bucket)
+//     pair — benchmarked as a net loss at every r in {16, 64, 256}.
+//
+// Every kernel keeps Dot's per-row accumulation order, so the blocked
+// verifier is bit-identical to the scalar one — the differential mutation
+// harness (delta_test.go) asserts byte-identical retrieval results across
+// it. Threshold and heap checks are applied per block by the callers, which
+// read the dot products back out of s.vals.
+
+// compactLiveCands drops tombstoned candidates from s.cand in place,
+// preserving the generator's order. Delta buckets hold only live entries
+// and skip the filter entirely.
+func (ix *Index) compactLiveCands(b *bucket, s *scratch) {
+	if b.delta || len(ix.dead) == 0 {
+		return
+	}
+	cand := s.cand
+	k := 0
+	for _, lid := range cand {
+		if _, gone := ix.dead[b.ids[lid]]; !gone {
+			cand[k] = lid
+			k++
+		}
+	}
+	s.cand = cand[:k]
+}
+
+// verifyDots computes s.vals[i] = q̄ᵀp̄ for every (live) candidate s.cand[i]
+// using the blocked kernels, and counts block- vs scalar-verified
+// candidates into st.
+func verifyDots(b *bucket, qdir []float64, s *scratch, st *Stats) {
+	c := len(s.cand)
+	if cap(s.vals) < c {
+		s.vals = make([]float64, c+c/2+8)
+	}
+	s.vals = s.vals[:c]
+	if c == 0 {
+		return
+	}
+	// Contiguous ascending run (unique lids): one dense panel product.
+	if int(s.cand[c-1])-int(s.cand[0]) == c-1 && slices.IsSorted(s.cand) {
+		lo := int(s.cand[0])
+		vecmath.DotBatch(qdir, b.dirs[lo*b.r:(lo+c)*b.r], s.vals)
+		st.BlockVerified += int64(c)
+		return
+	}
+	i := 0
+	for ; i+8 <= c; i += 8 {
+		vecmath.Dot8(qdir,
+			b.dir(int(s.cand[i])), b.dir(int(s.cand[i+1])),
+			b.dir(int(s.cand[i+2])), b.dir(int(s.cand[i+3])),
+			b.dir(int(s.cand[i+4])), b.dir(int(s.cand[i+5])),
+			b.dir(int(s.cand[i+6])), b.dir(int(s.cand[i+7])),
+			(*[8]float64)(s.vals[i:i+8]))
+	}
+	for ; i+4 <= c; i += 4 {
+		vecmath.Dot4(qdir,
+			b.dir(int(s.cand[i])), b.dir(int(s.cand[i+1])),
+			b.dir(int(s.cand[i+2])), b.dir(int(s.cand[i+3])),
+			(*[4]float64)(s.vals[i:i+4]))
+	}
+	st.BlockVerified += int64(i)
+	st.ScalarVerified += int64(c - i)
+	for ; i < c; i++ {
+		s.vals[i] = vecmath.Dot(qdir, b.dir(int(s.cand[i])))
+	}
+}

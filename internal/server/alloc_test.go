@@ -1,0 +1,64 @@
+package server
+
+import (
+	"testing"
+
+	"lemp"
+	"lemp/internal/data"
+)
+
+// TestServerSteadyStateAllocs asserts the serving hot path is allocation-
+// free per verified candidate: after warm-up (lazy bucket indexes built,
+// tuning parameters cached, scratch pools populated), repeated shard scans
+// must not allocate in proportion to the candidates they verify. Fixed
+// per-call overhead — result rows, the shard fan-out, query normalization —
+// is legal; anything scaling with candidate count is a regression back to
+// per-candidate scratch allocation.
+func TestServerSteadyStateAllocs(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	sh, err := NewSharded(p, 2, lemp.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := q.Head(16)
+	const k = 10
+	view := sh.CurrentView()
+	// Warm up: builds lazy per-bucket indexes, fills the tuning cache and
+	// the per-index scratch pools.
+	if _, _, err := view.TopK(batch, k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-run work, measured on its own call.
+	before := sh.CumulativeStats()
+	if _, _, err := view.TopK(batch, k); err != nil {
+		t.Fatal(err)
+	}
+	after := sh.CumulativeStats()
+	candidates := after.Candidates - before.Candidates
+	if candidates == 0 {
+		t.Fatal("steady-state call verified no candidates; fixture too small")
+	}
+	if after.BlockVerified == before.BlockVerified {
+		t.Fatal("steady-state call verified no candidates through the blocked kernels")
+	}
+	if after.Tunings != before.Tunings {
+		t.Fatalf("steady-state call re-tuned (%d -> %d); warm-up failed", before.Tunings, after.Tunings)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := view.TopK(batch, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perCandidate := allocs / float64(candidates)
+	t.Logf("%.1f allocs/call over %d verified candidates = %.4f allocs/candidate",
+		allocs, candidates, perCandidate)
+	// Zero allocations per verified candidate, with headroom for the fixed
+	// per-call overhead (rows, goroutines, merge buffers) that this bound
+	// spreads across the candidate count.
+	if perCandidate > 0.10 {
+		t.Fatalf("%.4f allocations per verified candidate (%.1f per call / %d candidates); the hot path is allocating per candidate",
+			perCandidate, allocs, candidates)
+	}
+}

@@ -178,13 +178,21 @@ func (s *Server) Sharded() *Sharded { return s.sharded }
 // same snapshots in the same order. Must not run concurrently with request
 // serving — per-call tuning rewrites the state being serialized.
 func (s *Server) WriteSnapshots(open func(i, n int) (io.WriteCloser, error)) error {
+	return s.WriteSnapshotsWith(open, lemp.SnapshotOptions{})
+}
+
+// WriteSnapshotsWith is WriteSnapshots with explicit persistence options —
+// e.g. lemp.SnapshotOptions{IncludeLists: true} to carry the built
+// sorted-list indexes so a restored server's first batch skips their
+// rebuild.
+func (s *Server) WriteSnapshotsWith(open func(i, n int) (io.WriteCloser, error), opts lemp.SnapshotOptions) error {
 	ixs := s.sharded.Indexes()
 	for i, ix := range ixs {
 		w, err := open(i, len(ixs))
 		if err != nil {
 			return err
 		}
-		if err := ix.WriteSnapshot(w); err != nil {
+		if err := ix.WriteSnapshotWith(w, opts); err != nil {
 			if a, ok := w.(interface{ Abort() error }); ok {
 				a.Abort()
 			} else {
@@ -432,6 +440,8 @@ type coreStats struct {
 	IndexedBuckets   int     `json:"indexed_buckets"`
 	Candidates       int64   `json:"candidates"`
 	Results          int64   `json:"results"`
+	BlockVerified    int64   `json:"block_verified"`
+	ScalarVerified   int64   `json:"scalar_verified"`
 	ProcessedPairs   int64   `json:"processed_pairs"`
 	PrunedPairs      int64   `json:"pruned_pairs"`
 	Tunings          int     `json:"tunings"`
@@ -466,6 +476,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			IndexedBuckets:   st.IndexedBuckets,
 			Candidates:       st.Candidates,
 			Results:          st.Results,
+			BlockVerified:    st.BlockVerified,
+			ScalarVerified:   st.ScalarVerified,
 			ProcessedPairs:   st.ProcessedPairs,
 			PrunedPairs:      st.PrunedPairs,
 			Tunings:          st.Tunings,

@@ -13,9 +13,9 @@ import (
 // ready-to-serve (pretuned) state: building from the raw matrix pays
 // bucketization plus sample-based tuning (O(index), what -save-snapshot
 // pays once), restoring pays only deserialization and validation (O(read),
-// what -snapshot pays on every restart). Lazy per-bucket sorted lists are
-// built on first use in both cases and are excluded; persisting them is a
-// noted follow-on.
+// what -snapshot pays on every restart). BenchmarkFirstBatchAfterRestore
+// measures the remaining post-restore cost — the lazily rebuilt per-bucket
+// sorted lists — against a lists-carrying (SLST) snapshot that skips it.
 
 func BenchmarkStartupBuildPretuned(b *testing.B) {
 	q, p := data.Smoke.Scale(4).Generate()
@@ -66,3 +66,49 @@ func BenchmarkStartupSnapshot(b *testing.B) {
 }
 
 func benchOptions() lemp.Options { return lemp.Options{Parallelism: 1} }
+
+// BenchmarkFirstBatchAfterRestore measures a restored server's first batch
+// — the moment the lazily built sorted lists are (re)constructed — with and
+// without the SLST section. The lists variant should spend its time on
+// retrieval, not index rebuilds.
+func BenchmarkFirstBatchAfterRestore(b *testing.B) {
+	q, p := data.Smoke.Scale(4).Generate()
+	cfg := Config{Shards: testShards, Options: benchOptions()}
+	built, err := New(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm retrieval builds the sorted lists -save-snapshot would persist.
+	if _, _, err := built.Sharded().TopK(q.Head(64), benchK); err != nil {
+		b.Fatal(err)
+	}
+	for _, withLists := range []bool{false, true} {
+		name := "plain"
+		if withLists {
+			name = "lists"
+		}
+		b.Run(name, func(b *testing.B) {
+			var bufs []*bytes.Buffer
+			err := built.WriteSnapshotsWith(func(i, n int) (io.WriteCloser, error) {
+				bufs = append(bufs, &bytes.Buffer{})
+				return nopWriteCloser{bufs[i]}, nil
+			}, lemp.SnapshotOptions{IncludeLists: withLists})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := q.Head(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv, err := NewFromSnapshot(snapshotReaders(bufs), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, _, err := srv.Sharded().TopK(batch, benchK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

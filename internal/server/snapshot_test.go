@@ -40,6 +40,55 @@ func snapshotReaders(bufs []*bytes.Buffer) []io.Reader {
 	return rs
 }
 
+// TestSnapshotServerWithLists round-trips a warmed server through
+// list-carrying snapshots (SLST section): the restored shards must arrive
+// with their sorted-list indexes pre-built and answer identically.
+func TestSnapshotServerWithLists(t *testing.T) {
+	q, p := smokeMatrices(t)
+	built, err := New(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up builds the lazy sorted lists the snapshot should carry.
+	if _, _, err := built.Sharded().TopK(q.Head(8), 5); err != nil {
+		t.Fatal(err)
+	}
+	var bufs []*bytes.Buffer
+	err = built.WriteSnapshotsWith(func(i, n int) (io.WriteCloser, error) {
+		bufs = append(bufs, &bytes.Buffer{})
+		return nopWriteCloser{bufs[i]}, nil
+	}, lemp.SnapshotOptions{IncludeLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromSnapshot(snapshotReaders(bufs), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := 0
+	for _, ix := range restored.Sharded().Indexes() {
+		for _, b := range ix.Buckets() {
+			if b.Indexed {
+				indexed++
+			}
+		}
+	}
+	if indexed == 0 {
+		t.Fatal("restored shards carry no pre-built sorted lists")
+	}
+	wantRows, _, err := built.Sharded().TopK(q.Head(16), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows, _, err := restored.Sharded().TopK(q.Head(16), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRows, wantRows) {
+		t.Fatal("restored-with-lists server answers differently")
+	}
+}
+
 // TestSnapshotServerMatchesBuiltServer round-trips a 4-shard server through
 // snapshots and requires identical responses from both.
 func TestSnapshotServerMatchesBuiltServer(t *testing.T) {

@@ -40,6 +40,18 @@
 //	        (topk flag), k (int64), θ (float64), then the sample matrix
 //	        (r, m, r×m float64)
 //
+// Version 3 adds one optional section after BUKT:
+//
+//	"SLST"  the lazily built per-bucket sorted-list indexes (§4.2): per
+//	        bucket a presence byte, then — when present — the coordinate-
+//	        major value array (size × r float64) and local-id array
+//	        (size × r int32). Persisting them lets a restored server's
+//	        first batch skip the rebuild that dominates post-restore
+//	        latency; core.FromState re-verifies them against the bucket
+//	        directions, so a tampered list index fails to load. The
+//	        section is opt-in (WriteOptions.IncludeLists) because it
+//	        roughly doubles snapshot size.
+//
 // A writer emits version 1 whenever none of the optional sections is
 // needed, so plain snapshots stay byte-compatible with version-1 readers.
 //
@@ -52,9 +64,12 @@
 // an accepted stream every tag is known, so an unknown one is corruption —
 // a flipped tag byte must not silently drop a section.)
 //
-// Lazily built per-bucket indexes (sorted lists, cover trees, L2AP,
-// signatures) are intentionally not persisted: they are cheap relative to
+// Other lazily built per-bucket indexes (cover trees, L2AP, signatures)
+// are intentionally not persisted: they are cheap relative to
 // bucketization, query-dependent, and rebuilt lazily after a restore.
+// Sorted lists earned their optional section because every coordinate
+// method needs them and their rebuild dominates a restored server's first
+// batch.
 package snapshot
 
 import (
@@ -75,10 +90,12 @@ import (
 const Magic = "LEMPIDX1"
 
 // Version is the base format version; VersionIDs is emitted when the
-// external-id sections (PIDS/MUTA) are present.
+// external-id sections (PIDS/MUTA) are present, VersionLists when the
+// sorted-list section (SLST) is.
 const (
-	Version    = 1
-	VersionIDs = 2
+	Version      = 1
+	VersionIDs   = 2
+	VersionLists = 3
 )
 
 var (
@@ -88,6 +105,7 @@ var (
 	tagMuta    = [4]byte{'M', 'U', 'T', 'A'}
 	tagTune    = [4]byte{'T', 'S', 'M', 'P'}
 	tagBuckets = [4]byte{'B', 'U', 'K', 'T'}
+	tagLists   = [4]byte{'S', 'L', 'S', 'T'}
 	tagEnd     = [4]byte{'E', 'N', 'D', 0}
 )
 
@@ -116,17 +134,45 @@ func defaultNextID(st *core.State) int32 {
 	return next
 }
 
-// Write serializes st in the LEMPIDX1 format, choosing version 1 or 2 by
-// whether external-id state must be recorded.
+// WriteOptions adjust what Write persists beyond the required sections.
+type WriteOptions struct {
+	// IncludeLists persists the per-bucket sorted-list indexes that have
+	// been built so far (SLST section, format version 3), trading snapshot
+	// size for a restored server that skips the first-use list rebuild.
+	// Buckets whose lists were never built are recorded as absent and
+	// still rebuild lazily after restore.
+	IncludeLists bool
+}
+
+// Write serializes st in the LEMPIDX1 format with default options,
+// choosing version 1 or 2 by whether external-id state must be recorded.
 func Write(w io.Writer, st *core.State) error {
+	return WriteWith(w, st, WriteOptions{})
+}
+
+// WriteWith is Write with explicit options; opting into list persistence
+// emits format version 3.
+func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 	if st.Probe == nil {
 		return fmt.Errorf("snapshot: state has no probe matrix")
 	}
 	writeMuta := st.Epoch != 0 || st.NextID != defaultNextID(st)
 	writeTune := st.Pretuned && st.TuneSample != nil
+	writeLists := false
+	if opts.IncludeLists {
+		for _, b := range st.Buckets {
+			if b.ListVals != nil {
+				writeLists = true
+				break
+			}
+		}
+	}
 	version := uint32(Version)
 	if st.IDs != nil || writeMuta || writeTune {
 		version = VersionIDs
+	}
+	if writeLists {
+		version = VersionLists
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
@@ -186,10 +232,47 @@ func Write(w io.Writer, st *core.State) error {
 	}); err != nil {
 		return err
 	}
+	if writeLists {
+		listsLen := uint64(len(st.Buckets))
+		for _, b := range st.Buckets {
+			if b.ListVals != nil {
+				listsLen += 8*uint64(len(b.ListVals)) + 4*uint64(len(b.ListLids))
+			}
+		}
+		if err := writeSection(bw, tagLists, listsLen, func(w io.Writer) error {
+			return writeSortedLists(w, st)
+		}); err != nil {
+			return err
+		}
+	}
 	if err := writeSection(bw, tagEnd, 0, func(io.Writer) error { return nil }); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeSortedLists emits the SLST payload: one presence byte per bucket, then
+// the present buckets' value and local-id arrays.
+func writeSortedLists(w io.Writer, st *core.State) error {
+	for _, b := range st.Buckets {
+		present := byte(0)
+		if b.ListVals != nil {
+			present = 1
+		}
+		if _, err := w.Write([]byte{present}); err != nil {
+			return err
+		}
+		if present == 0 {
+			continue
+		}
+		if err := matrix.WriteFloat64s(w, b.ListVals); err != nil {
+			return err
+		}
+		if err := matrix.WriteInt32s(w, b.ListLids); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeSection frames one section: tag, declared length, the payload teed
@@ -286,6 +369,36 @@ func writeBuckets(w io.Writer, st *core.State) error {
 	return nil
 }
 
+// readSortedLists parses the SLST payload into the already-read bucket
+// states. Allocation is bounded by the declared bucket sizes; semantic
+// verification (permutation, sortedness, value agreement with the
+// directions) runs in core.FromState.
+func readSortedLists(r io.Reader, st *core.State) error {
+	dim := st.Probe.R()
+	for i := range st.Buckets {
+		var present [1]byte
+		if _, err := io.ReadFull(r, present[:]); err != nil {
+			return fmt.Errorf("bucket %d list flag: %w", i, err)
+		}
+		switch present[0] {
+		case 0:
+			continue
+		case 1:
+		default:
+			return fmt.Errorf("bucket %d list flag is %d, want 0 or 1", i, present[0])
+		}
+		n := len(st.Buckets[i].IDs) * dim
+		var err error
+		if st.Buckets[i].ListVals, err = matrix.ReadFloat64s(r, n); err != nil {
+			return fmt.Errorf("bucket %d list values: %w", i, err)
+		}
+		if st.Buckets[i].ListLids, err = matrix.ReadInt32s(r, n); err != nil {
+			return fmt.Errorf("bucket %d list ids: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func boolByte(b bool) byte {
 	if b {
 		return 1
@@ -310,14 +423,14 @@ func Read(r io.Reader) (*core.State, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version && v != VersionIDs {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d and %d)", v, Version, VersionIDs)
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version && v != VersionIDs && v != VersionLists {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d through %d)", v, Version, VersionLists)
 	}
 	if rsv := binary.LittleEndian.Uint32(hdr[4:8]); rsv != 0 {
 		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
 	}
 	st := &core.State{}
-	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune bool
+	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune, haveLists bool
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(br, tag[:]); err != nil {
@@ -380,6 +493,15 @@ func Read(r io.Reader) (*core.State, error) {
 			}
 			haveBuckets = true
 			err = readBuckets(sr, st)
+		case tagLists:
+			if haveLists {
+				return nil, fmt.Errorf("snapshot: duplicate SLST section")
+			}
+			if !haveBuckets {
+				return nil, fmt.Errorf("snapshot: SLST section before BUKT")
+			}
+			haveLists = true
+			err = readSortedLists(sr, st)
 		case tagEnd:
 			if sr.n != 0 {
 				return nil, fmt.Errorf("snapshot: END section with %d payload bytes", sr.n)

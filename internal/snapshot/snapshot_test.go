@@ -59,13 +59,76 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Probe.Data(), st.Probe.Data()) {
 		t.Error("probe data differs")
 	}
-	if !reflect.DeepEqual(got.Buckets, st.Buckets) {
+	// Default Write intentionally drops the optional sorted lists; every
+	// other bucket field must round-trip exactly.
+	want := append([]core.BucketState(nil), st.Buckets...)
+	for i := range want {
+		want[i].ListVals, want[i].ListLids = nil, nil
+	}
+	if !reflect.DeepEqual(got.Buckets, want) {
 		t.Error("bucket states differ")
 	}
 	// The parsed state must satisfy every structural invariant.
 	if _, err := core.FromState(got); err != nil {
 		t.Fatalf("FromState on round-tripped state: %v", err)
 	}
+}
+
+// TestWriteReadRoundTripWithLists: opting into list persistence must emit
+// format version 3 and round-trip the sorted-list arrays bit-for-bit, and
+// the loaded state must pass FromState's list verification.
+func TestWriteReadRoundTripWithLists(t *testing.T) {
+	st := buildState(t)
+	withLists := false
+	for _, b := range st.Buckets {
+		if b.ListVals != nil {
+			withLists = true
+		}
+	}
+	if !withLists {
+		t.Fatal("fixture built no sorted lists; pretuning should have")
+	}
+	var buf bytes.Buffer
+	if err := WriteWith(&buf, st, WriteOptions{IncludeLists: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != VersionLists {
+		t.Fatalf("format version %d, want %d", v, VersionLists)
+	}
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Buckets, st.Buckets) {
+		t.Error("bucket states (lists included) differ")
+	}
+	if _, err := core.FromState(got); err != nil {
+		t.Fatalf("FromState on round-tripped state with lists: %v", err)
+	}
+	// Without any built lists, IncludeLists must degrade to the plain
+	// format (no empty SLST section, version unchanged).
+	plain := buildUntunedState(t)
+	var buf2 bytes.Buffer
+	if err := WriteWith(&buf2, plain, WriteOptions{IncludeLists: true}); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf2.Bytes()[8:12]); v != Version {
+		t.Fatalf("listless IncludeLists snapshot has version %d, want %d", v, Version)
+	}
+}
+
+// buildUntunedState makes a state whose buckets never built sorted lists.
+func buildUntunedState(t testing.TB) *core.State {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	p := matrix.New(6, 60)
+	p.FillRandom(rng)
+	ix, err := core.NewIndex(p, core.Options{MinBucketSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix.State()
 }
 
 func TestReadRejectsBadMagicAndVersion(t *testing.T) {
@@ -80,7 +143,7 @@ func TestReadRejectsBadMagicAndVersion(t *testing.T) {
 		t.Error("matrix magic accepted as a snapshot")
 	}
 	bad := append([]byte(nil), raw...)
-	binary.LittleEndian.PutUint32(bad[8:12], VersionIDs+1)
+	binary.LittleEndian.PutUint32(bad[8:12], VersionLists+1)
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("future format version accepted")
 	}
@@ -112,6 +175,122 @@ func TestReadDetectsCorruption(t *testing.T) {
 		if _, err := core.FromState(got); err == nil {
 			t.Fatalf("bit flip at offset %d went undetected", off)
 		}
+	}
+}
+
+// TestListsCorruptionDetected is TestReadDetectsCorruption over a
+// version-3 (SLST) snapshot, plus semantic tampering that keeps checksums
+// valid: a list index whose bytes are intact but whose content disagrees
+// with the bucket directions must be rejected by FromState's verification.
+func TestListsCorruptionDetected(t *testing.T) {
+	st := buildState(t)
+	var buf bytes.Buffer
+	if err := WriteWith(&buf, st, WriteOptions{IncludeLists: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	step := 1
+	if len(raw) > 1<<16 {
+		step = len(raw) / (1 << 16)
+	}
+	for off := 0; off < len(raw); off += step {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		got, err := Read(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		if _, err := core.FromState(got); err == nil {
+			t.Fatalf("bit flip at offset %d of a lists snapshot went undetected", off)
+		}
+	}
+
+	// CRC-valid but semantically wrong lists: every tamper must fail
+	// FromState, never load and silently mis-prune.
+	tampers := []struct {
+		name string
+		mut  func(bs *core.BucketState)
+	}{
+		{"swapped lids", func(bs *core.BucketState) {
+			bs.ListLids[0], bs.ListLids[1] = bs.ListLids[1], bs.ListLids[0]
+		}},
+		{"duplicated lid", func(bs *core.BucketState) {
+			bs.ListLids[1] = bs.ListLids[0]
+		}},
+		{"out-of-range lid", func(bs *core.BucketState) {
+			bs.ListLids[0] = int32(len(bs.IDs))
+		}},
+		{"value drift", func(bs *core.BucketState) {
+			bs.ListVals[0] += 1e-9
+		}},
+		{"shape mismatch", func(bs *core.BucketState) {
+			bs.ListVals = bs.ListVals[:len(bs.ListVals)-1]
+		}},
+	}
+	for _, tc := range tampers {
+		got, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := -1
+		for i := range got.Buckets {
+			if len(got.Buckets[i].ListLids) >= 2 {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			t.Fatal("no bucket with a usable list in the fixture")
+		}
+		tc.mut(&got.Buckets[target])
+		if _, err := core.FromState(got); err == nil {
+			t.Errorf("%s: tampered list index loaded", tc.name)
+		}
+	}
+}
+
+// TestRestoredListsServeIdentically: an index restored from a lists
+// snapshot must report its buckets indexed, answer exactly like the
+// original, and not rebuild what the snapshot carried.
+func TestRestoredListsServeIdentically(t *testing.T) {
+	st := buildState(t)
+	var buf bytes.Buffer
+	if err := WriteWith(&buf, st, WriteOptions{IncludeLists: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.FromState(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := 0
+	for _, b := range restored.Buckets() {
+		if b.Indexed {
+			indexed++
+		}
+	}
+	if indexed == 0 {
+		t.Fatal("restored index reports no pre-built bucket indexes")
+	}
+	original, err := core.FromState(buildState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := matrix.New(st.Probe.R(), 5)
+	q.FillRandom(rand.New(rand.NewSource(77)))
+	wantTop, _, err := original.RowTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, _, err := restored.RowTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Fatal("restored-with-lists index answers differently")
 	}
 }
 

@@ -1,0 +1,147 @@
+package vecmath
+
+// Blocked verification kernels. LEMP's verification phase — one exact inner
+// product per candidate that survived bucket-level pruning — is a dense
+// panel-times-vector product in disguise: the probe directions of one bucket
+// are contiguous rows, and a candidate set is a (possibly strided) selection
+// of them. Evaluating several rows per pass with one independent accumulator
+// chain per row keeps the floating-point units busy while the single shared
+// query vector stays in registers, the same panel-at-a-time structure blocked
+// sparse/dense multiplication kernels use.
+//
+// Bit-exactness contract: every kernel accumulates each row in exactly the
+// order Dot uses (unrolled by four within one row, sequential tail), so for
+// any row the blocked result is bit-identical to calling Dot on that row.
+// Only the *interleaving across rows* changes, which no result depends on.
+// Exactness-asserted paths (the differential mutation harness) therefore see
+// byte-identical output from the blocked and scalar verifiers.
+
+// DotBatch computes the inner product of q against every row of a contiguous
+// row-panel: out[i] = Dot(q, panel[i*r:(i+1)*r]) for r = len(q). The panel
+// must hold exactly len(out) rows; DotBatch panics otherwise (a programming
+// error, not an input error). Each out[i] is bit-identical to the
+// corresponding Dot call. A zero-dimension q yields all-zero outputs.
+func DotBatch(q, panel, out []float64) {
+	r := len(q)
+	if len(panel) != len(out)*r {
+		panic("vecmath: DotBatch panel size does not match len(out) rows")
+	}
+	if r == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	n := len(out)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := panel[i*r : (i+8)*r]
+		Dot8(q,
+			p[0*r:1*r], p[1*r:2*r], p[2*r:3*r], p[3*r:4*r],
+			p[4*r:5*r], p[5*r:6*r], p[6*r:7*r], p[7*r:8*r],
+			(*[8]float64)(out[i:i+8]))
+	}
+	for ; i+4 <= n; i += 4 {
+		p := panel[i*r : (i+4)*r]
+		Dot4(q, p[0*r:1*r], p[1*r:2*r], p[2*r:3*r], p[3*r:4*r],
+			(*[4]float64)(out[i:i+4]))
+	}
+	for ; i < n; i++ {
+		out[i] = Dot(q, panel[i*r:(i+1)*r])
+	}
+}
+
+// Dot4 computes four inner products of q against four rows at once, for
+// strided candidate sets whose rows are not adjacent in memory: out[j] =
+// Dot(q, pj), bit-identical to four scalar Dot calls. All rows must have
+// len(q) elements; Dot4 panics otherwise.
+func Dot4(q, p0, p1, p2, p3 []float64, out *[4]float64) {
+	r := len(q)
+	if len(p0) != r || len(p1) != r || len(p2) != r || len(p3) != r {
+		panic("vecmath: Dot4 on rows of unequal length")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		qq := q[i : i+4 : i+4]
+		q0, q1, q2, q3 := qq[0], qq[1], qq[2], qq[3]
+		s0 += q0*p0[i] + q1*p0[i+1] + q2*p0[i+2] + q3*p0[i+3]
+		s1 += q0*p1[i] + q1*p1[i+1] + q2*p1[i+2] + q3*p1[i+3]
+		s2 += q0*p2[i] + q1*p2[i+1] + q2*p2[i+2] + q3*p2[i+3]
+		s3 += q0*p3[i] + q1*p3[i+1] + q2*p3[i+2] + q3*p3[i+3]
+	}
+	for ; i < r; i++ {
+		x := q[i]
+		s0 += x * p0[i]
+		s1 += x * p1[i]
+		s2 += x * p2[i]
+		s3 += x * p3[i]
+	}
+	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+}
+
+// Dot8 is Dot4 widened to eight rows: out[j] = Dot(q, pj), bit-identical to
+// eight scalar Dot calls. Eight accumulator chains hide more floating-point
+// latency than four on wide cores; DotBatch and the blocked verifier prefer
+// it and fall back to Dot4/Dot for the tail.
+func Dot8(q, p0, p1, p2, p3, p4, p5, p6, p7 []float64, out *[8]float64) {
+	r := len(q)
+	if len(p0) != r || len(p1) != r || len(p2) != r || len(p3) != r ||
+		len(p4) != r || len(p5) != r || len(p6) != r || len(p7) != r {
+		panic("vecmath: Dot8 on rows of unequal length")
+	}
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		qq := q[i : i+4 : i+4]
+		q0, q1, q2, q3 := qq[0], qq[1], qq[2], qq[3]
+		s0 += q0*p0[i] + q1*p0[i+1] + q2*p0[i+2] + q3*p0[i+3]
+		s1 += q0*p1[i] + q1*p1[i+1] + q2*p1[i+2] + q3*p1[i+3]
+		s2 += q0*p2[i] + q1*p2[i+1] + q2*p2[i+2] + q3*p2[i+3]
+		s3 += q0*p3[i] + q1*p3[i+1] + q2*p3[i+2] + q3*p3[i+3]
+		s4 += q0*p4[i] + q1*p4[i+1] + q2*p4[i+2] + q3*p4[i+3]
+		s5 += q0*p5[i] + q1*p5[i+1] + q2*p5[i+2] + q3*p5[i+3]
+		s6 += q0*p6[i] + q1*p6[i+1] + q2*p6[i+2] + q3*p6[i+3]
+		s7 += q0*p7[i] + q1*p7[i+1] + q2*p7[i+2] + q3*p7[i+3]
+	}
+	for ; i < r; i++ {
+		x := q[i]
+		s0 += x * p0[i]
+		s1 += x * p1[i]
+		s2 += x * p2[i]
+		s3 += x * p3[i]
+		s4 += x * p4[i]
+		s5 += x * p5[i]
+		s6 += x * p6[i]
+		s7 += x * p7[i]
+	}
+	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+	out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+}
+
+// DotNorm2 fuses the two accumulations INCR-style bounds need — the inner
+// product a·b and the squared norm ‖b‖² — into one pass over b, halving the
+// memory traffic of computing them separately. The slices must have equal
+// length; DotNorm2 panics otherwise. The dot accumulator follows Dot's
+// order exactly (bit-identical to Dot(a, b)); the norm accumulator uses the
+// same unrolled grouping, which may differ from Norm2's sequential order in
+// the last bits — callers needing bit-compatibility with Norm2 must keep
+// calling Norm2.
+func DotNorm2(a, b []float64) (dot, norm2 float64) {
+	if len(a) != len(b) {
+		panic("vecmath: DotNorm2 on vectors of unequal length")
+	}
+	var s, n float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		s += a[i]*b0 + a[i+1]*b1 + a[i+2]*b2 + a[i+3]*b3
+		n += b0*b0 + b1*b1 + b2*b2 + b3*b3
+	}
+	for ; i < len(a); i++ {
+		x := b[i]
+		s += a[i] * x
+		n += x * x
+	}
+	return s, n
+}

@@ -1,0 +1,72 @@
+package vecmath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks: one query against a panel of probe directions,
+// scalar (one Dot per row) vs blocked (DotBatch), across the dimensionality
+// regimes the library targets. The panel is sized to stay cache-resident,
+// matching LEMP's bucket design, so the comparison isolates instruction-level
+// parallelism rather than memory bandwidth.
+
+const benchRows = 512
+
+func benchPanel(r int) (q, panel []float64, out []float64) {
+	rng := rand.New(rand.NewSource(int64(r)))
+	q = make([]float64, r)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	panel = make([]float64, benchRows*r)
+	for i := range panel {
+		panel[i] = rng.NormFloat64()
+	}
+	return q, panel, make([]float64, benchRows)
+}
+
+func BenchmarkDotScalarPanel(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			q, panel, out := benchPanel(r)
+			b.SetBytes(int64(benchRows * r * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < benchRows; j++ {
+					out[j] = Dot(q, panel[j*r:(j+1)*r])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDotBatchPanel(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			q, panel, out := benchPanel(r)
+			b.SetBytes(int64(benchRows * r * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DotBatch(q, panel, out)
+			}
+		})
+	}
+}
+
+func BenchmarkDotNorm2(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			q, panel, _ := benchPanel(r)
+			b.SetBytes(int64(2 * r * 8))
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, n := DotNorm2(q, panel[:r])
+				sink += d + n
+			}
+			_ = sink
+		})
+	}
+}

@@ -69,13 +69,15 @@ func Scale(dst, v []float64, s float64) {
 
 // Cos returns the cosine similarity of a and b, in [-1,1]. Zero vectors have
 // cosine 0 with everything. The result is clamped to [-1,1] to guard against
-// floating-point drift.
+// floating-point drift. The dot product and ‖b‖² come out of one fused
+// DotNorm2 pass, so Cos reads b once and a twice instead of each twice.
 func Cos(a, b []float64) float64 {
-	na, nb := Norm(a), Norm(b)
-	if na == 0 || nb == 0 {
+	dot, nb2 := DotNorm2(a, b)
+	na2 := Norm2(a)
+	if na2 == 0 || nb2 == 0 {
 		return 0
 	}
-	c := Dot(a, b) / (na * nb)
+	c := dot / (math.Sqrt(na2) * math.Sqrt(nb2))
 	return Clamp(c, -1, 1)
 }
 

@@ -19,7 +19,24 @@ import (
 // with retrieval calls on the same index: per-call tuning rewrites the
 // per-bucket parameters being serialized.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
-	return snapshot.Write(w, ix.inner.State())
+	return ix.WriteSnapshotWith(w, SnapshotOptions{})
+}
+
+// SnapshotOptions adjust what WriteSnapshotWith persists beyond the
+// required index state.
+type SnapshotOptions struct {
+	// IncludeLists also persists the per-bucket sorted-list indexes built
+	// so far, so a restored index answers its first coordinate-method
+	// queries without rebuilding them (they otherwise dominate the first
+	// post-restore batch). Roughly doubles the snapshot size; the loader
+	// re-verifies the lists against the stored directions, so corruption
+	// fails the load instead of mis-pruning.
+	IncludeLists bool
+}
+
+// WriteSnapshotWith is WriteSnapshot with explicit persistence options.
+func (ix *Index) WriteSnapshotWith(w io.Writer, opts SnapshotOptions) error {
+	return snapshot.WriteWith(w, ix.inner.State(), snapshot.WriteOptions{IncludeLists: opts.IncludeLists})
 }
 
 // LoadOptions adjust how a snapshot is turned back into an Index. Only
