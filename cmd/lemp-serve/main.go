@@ -18,13 +18,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/topk    {"queries": [[...], ...], "k": 10}
-//	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
-//	POST /v1/update  {"updates": [{"op": "add", "vector": [...]},
-//	                              {"op": "remove", "id": 3},
-//	                              {"op": "update", "id": 2, "vector": [...]}]}
-//	GET  /healthz    liveness + index shape + update epoch
-//	GET  /stats      server counters and cumulative retrieval stats
+//	POST /v1/topk        {"queries": [[...], ...], "k": 10}
+//	POST /v1/above       {"queries": [[...], ...], "theta": 0.9}
+//	POST /v1/update      {"updates": [{"op": "add", "vector": [...]},
+//	                                  {"op": "remove", "id": 3},
+//	                                  {"op": "update", "id": 2, "vector": [...]}]}
+//	GET  /healthz        liveness + index shape + update epoch
+//	GET  /readyz         readiness: 503 while building/restoring and while draining
+//	GET  /stats          server counters and cumulative retrieval stats
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   retained request traces (tail-sampled; slow requests always)
+//	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// The listener opens before the index builds: during a long build or
+// snapshot restore, /healthz answers 200 (the process is alive) and
+// /readyz answers 503 "starting", so orchestrators can distinguish a warm-
+// up from a wedge. On SIGINT/SIGTERM the server marks itself draining
+// (/readyz flips to 503 so load balancers stop routing here), waits
+// -drain-grace, then shuts the listener down and lets in-flight requests
+// finish.
 //
 // The probe set is live: /v1/update applies atomic batches of adds,
 // removes and replaces. Small changes land in per-shard delta buckets;
@@ -47,6 +59,13 @@
 // same k or θ reuse fitted per-bucket tuning parameters through a shared
 // tuning cache, so small-batch serving stops re-paying §4.4 sample tuning
 // on every call (visible as tunings vs tune_cache_hits in /stats).
+//
+// Observability: every request is traced (id in the X-Lemp-Trace response
+// header); requests slower than -slow-query are logged with per-phase
+// timings and always retained in /debug/traces, fast ones are retained
+// with probability -trace-sample. Logs are structured (log/slog, text by
+// default, -log-json for JSON) at -log-level; the access log is at debug
+// level.
 package main
 
 import (
@@ -54,11 +73,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,6 +87,10 @@ import (
 	"lemp/internal/data"
 	"lemp/internal/server"
 )
+
+// logger is the process-wide structured logger, configured from -log-level
+// and -log-json before any other work.
+var logger *slog.Logger
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -85,7 +110,16 @@ func main() {
 	compactFrac := flag.Float64("compact-frac", 0.25, "re-bucketize a shard when its delta mass (tombstones+overlay per live probe) exceeds this fraction (negative disables)")
 	maxUpdateOps := flag.Int("max-update-ops", 4096, "maximum ops per /v1/update batch (negative disables the limit)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request retrieval deadline; expired requests abort their shard scans mid-bucket and return 503 (0 disables)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error (the per-request access log is at debug)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "requests slower than this are logged with per-phase timings and always retained in /debug/traces (0 disables)")
+	traceSample := flag.Float64("trace-sample", 0.01, "probability a fast request's trace is retained in /debug/traces (slow requests are always retained)")
+	traceRing := flag.Int("trace-ring", 256, "capacity of the retained-trace ring behind /debug/traces")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainGrace := flag.Duration("drain-grace", 0, "after a shutdown signal, keep serving for this long with /readyz failing, so load balancers drain before the listener closes")
 	flag.Parse()
+
+	logger = newLogger(*logLevel, *logJSON)
 
 	sources := 0
 	for _, set := range []bool{*pPath != "", *profileName != "", *snapshotPath != ""} {
@@ -111,15 +145,44 @@ func main() {
 		*compactFrac = 1e-9
 	}
 	cfg := server.Config{
-		Shards:          *shards,
-		Options:         lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
-		BatchWindow:     *batchWindow,
-		BatchMax:        *batchMax,
-		CacheEntries:    *cacheEntries,
-		MaxUpdateOps:    *maxUpdateOps,
-		CompactFraction: *compactFrac,
-		RequestTimeout:  *requestTimeout,
+		Shards:             *shards,
+		Options:            lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
+		CacheEntries:       *cacheEntries,
+		MaxUpdateOps:       *maxUpdateOps,
+		CompactFraction:    *compactFrac,
+		RequestTimeout:     *requestTimeout,
+		Logger:             logger,
+		SlowQueryThreshold: *slowQuery,
+		TraceSampleRate:    *traceSample,
+		TraceRingSize:      *traceRing,
+		EnablePprof:        *pprofFlag,
 	}
+
+	// Open the listener before building the index, behind a switchable
+	// handler: a long build or snapshot restore still answers /healthz 200
+	// (alive) and /readyz 503 "starting", so orchestrators can tell a
+	// warm-up from a wedge, and the address is claimed (and its errors
+	// surfaced) immediately.
+	var handler atomic.Value // http.Handler
+	handler.Store(bootHandler())
+	httpSrv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		// Bound slow/idle clients; no WriteTimeout so large legitimate
+		// result sets can stream out.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	var srv *server.Server
 	if *snapshotPath != "" {
@@ -136,7 +199,8 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			log.Printf("synthesizing probe matrix of %s (%d vectors, dim %d)", profile.Name, profile.N, profile.R)
+			logger.Info("synthesizing probe matrix",
+				"profile", profile.Name, "vectors", profile.N, "dim", profile.R)
 			_, probe = profile.Generate()
 		}
 		srv, err = server.New(probe, cfg)
@@ -149,7 +213,6 @@ func main() {
 		saveSnapshots(srv, *saveSnapshot, *pretuneK, *snapshotLists)
 	}
 
-	probes, dim := srv.Sharded().N(), srv.Sharded().R()
 	par := "auto (NumCPU/shards)"
 	if *parallel > 0 {
 		par = fmt.Sprint(*parallel)
@@ -158,35 +221,79 @@ func main() {
 	if *cacheEntries > 0 {
 		cache = fmt.Sprintf("%d entries", *cacheEntries)
 	}
-	log.Printf("serving %d probes (dim %d) in %d shards on %s (batch window %v, max %d, cache %s, parallelism %s)",
-		probes, dim, srv.Sharded().NumShards(), *addr, *batchWindow, *batchMax, cache, par)
+	logger.Info("serving",
+		"probes", srv.Sharded().N(),
+		"dim", srv.Sharded().R(),
+		"shards", srv.Sharded().NumShards(),
+		"addr", *addr,
+		"batch_window", batchWindow.String(),
+		"batch_max", *batchMax,
+		"cache", cache,
+		"parallelism", par,
+	)
 
-	httpSrv := &http.Server{
-		Addr:    *addr,
-		Handler: srv.Handler(),
-		// Bound slow/idle clients; no WriteTimeout so large legitimate
-		// result sets can stream out.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
+		// Fail readiness first so load balancers stop routing here, give
+		// them -drain-grace to notice, then close the listener and let
+		// in-flight requests finish.
+		srv.BeginDrain()
+		logger.Info("shutdown signal received; draining", "grace", drainGrace.String())
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
-	err = httpSrv.ListenAndServe()
+
+	// The build is done: swap in the real handler. Readiness flips with it
+	// (the server constructs ready), so /readyz answers 200 from here on.
+	handler.Store(srv.Handler())
+
+	err = <-serveErr
 	if err != nil && err != http.ErrServerClosed {
 		fail("%v", err)
 	}
 	// Shutdown closed the listener; wait until in-flight requests drain.
 	<-drained
-	log.Print("shut down")
+	logger.Info("shut down")
+}
+
+// newLogger builds the process logger from -log-level and -log-json.
+func newLogger(level string, jsonOut bool) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "lemp-serve: invalid -log-level %q (want debug, info, warn or error)\n", level)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// bootHandler serves while the index is still building or restoring:
+// alive but not ready.
+func bootHandler() http.Handler {
+	starting := func(w http.ResponseWriter, status int) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		starting(w, http.StatusOK)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		starting(w, http.StatusServiceUnavailable)
+	})
+	return mux
 }
 
 // shardsFlagSet reports whether -shards was given explicitly (as opposed to
@@ -249,7 +356,8 @@ func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *
 		if err != nil {
 			fail("loading %s: %v", files[0], err)
 		}
-		log.Printf("re-sharding %s (%d probes) into %d shards: rebuilding indexes from the embedded probe matrix", files[0], ix.N(), shards)
+		logger.Info("re-sharding snapshot: rebuilding indexes from the embedded probe matrix",
+			"snapshot", files[0], "probes", ix.N(), "shards", shards)
 		// Preserve the snapshot's external probe ids through the rebuild:
 		// a mutated-then-saved catalog has non-contiguous ids, and
 		// renumbering them would silently re-address every probe.
@@ -276,7 +384,8 @@ func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *
 	if err != nil {
 		fail("restoring snapshots: %v", err)
 	}
-	log.Printf("restored %d shards from %s in %v (bucketization and tuning skipped)", len(files), path, time.Since(start).Round(time.Millisecond))
+	logger.Info("restored shards from snapshots (bucketization and tuning skipped)",
+		"shards", len(files), "path", path, "elapsed", time.Since(start).Round(time.Millisecond).String())
 	return srv
 }
 
@@ -305,7 +414,8 @@ func saveSnapshots(srv *server.Server, path string, k int, lists bool) {
 		fail("saving snapshots: %v", err)
 	}
 	removeStaleSnapshots(path, len(ixs))
-	log.Printf("pretuned and saved %d shard snapshots to %s in %v", len(ixs), path, time.Since(start).Round(time.Millisecond))
+	logger.Info("pretuned and saved shard snapshots",
+		"shards", len(ixs), "path", path, "elapsed", time.Since(start).Round(time.Millisecond).String())
 }
 
 // removeStaleSnapshots deletes leftover files of the same snapshot family
@@ -321,7 +431,7 @@ func removeStaleSnapshots(path string, n int) {
 		if err := os.Remove(name); err != nil {
 			fail("removing stale snapshot %s: %v", name, err)
 		}
-		log.Printf("removed stale snapshot %s (previous save used a different shard count)", name)
+		logger.Info("removed stale snapshot (previous save used a different shard count)", "path", name)
 	}
 	if n > 1 {
 		stale(path) // a single-file snapshot would shadow the numbered set
@@ -338,7 +448,7 @@ func removeStaleSnapshots(path string, n int) {
 		if err := os.Remove(name); err != nil {
 			fail("removing stale snapshot %s: %v", name, err)
 		}
-		log.Printf("removed stale snapshot %s (previous save used a different shard count)", name)
+		logger.Info("removed stale snapshot (previous save used a different shard count)", "path", name)
 	}
 }
 

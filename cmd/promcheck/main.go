@@ -1,0 +1,57 @@
+// Command promcheck validates a Prometheus text exposition read from stdin:
+// it must parse under the strict in-repo parser (internal/obs), and every
+// family named in -require must be present. CI pipes a live scrape of
+// lemp-serve's /metrics through it, so a malformed exposition or a dropped
+// metric family fails the build instead of silently blinding a dashboard.
+//
+//	curl -fsS localhost:8080/metrics | promcheck -require lemp_requests_total,lemp_ready
+//
+// Exit status: 0 when the exposition is valid and complete, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lemp/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	maxCard := flag.Int("max-cardinality", 0, "fail if any family has more label sets than this (0 disables)")
+	flag.Parse()
+
+	fams, err := obs.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: exposition does not parse: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if fams[name] == nil {
+				fmt.Fprintf(os.Stderr, "promcheck: required family %s missing\n", name)
+				failed = true
+			}
+		}
+	}
+	if *maxCard > 0 {
+		for name, f := range fams {
+			if card := f.LabelCardinality(); card > *maxCard {
+				fmt.Fprintf(os.Stderr, "promcheck: family %s has %d label sets (limit %d)\n", name, card, *maxCard)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d families ok\n", len(fams))
+}

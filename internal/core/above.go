@@ -47,9 +47,13 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 	c := newCall(ctx, opts, ro.Cache)
 	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	qs := prepareQueries(q)
+	tuneSpan := c.startSpan("tune")
 	if err := ix.ensureTuned(c, qs, tuneAbove{theta: theta}, &st); err != nil {
+		c.endSpan(tuneSpan)
 		return st, err
 	}
+	c.endSpan(tuneSpan)
+	scanSpan := c.startSpan("scan")
 	start := time.Now()
 	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
 		s := ix.getScratch()
@@ -94,6 +98,7 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 		}
 	}
 	st.RetrievalTime = time.Since(start)
+	c.endSpan(scanSpan)
 	ix.countIndexedBuckets(&st)
 	if c.canceled() {
 		return st, c.ctxErr()

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"lemp/internal/obs"
 )
 
 // Per-call execution policy. Index construction fixes everything structural
@@ -50,21 +52,38 @@ func (ix *Index) effOptions(ro RunOptions) (Options, error) {
 
 // call is the per-invocation state threaded through a retrieval driver and
 // its workers: the caller's context (sampled at bucket boundaries so a
-// cancellation aborts the scan promptly) and the effective options.
+// cancellation aborts the scan promptly), the effective options, and the
+// request trace (if any) for phase spans.
 type call struct {
 	opts  Options
 	cache *TuningCache
 	done  <-chan struct{} // ctx.Done(); nil for context.Background()
 	err   func() error    // ctx.Err
+	tr    *obs.Trace      // request trace; nil when untraced
+	span  obs.SpanRef     // parent span for this call's phase spans
 }
 
-// newCall binds a context and effective options into a call.
+// newCall binds a context and effective options into a call. A trace
+// carried by the context (obs.ContextWithSpan — the server attaches one
+// per shard fan-out) makes the call record tune/scan phase spans; the
+// hooks sit at the same boundaries as the cancellation checkpoints and
+// are free for untraced calls.
 func newCall(ctx context.Context, opts Options, cache *TuningCache) *call {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &call{opts: opts, cache: cache, done: ctx.Done(), err: ctx.Err}
+	tr, parent := obs.SpanFrom(ctx)
+	return &call{opts: opts, cache: cache, done: ctx.Done(), err: ctx.Err, tr: tr, span: parent}
 }
+
+// startSpan opens a phase span under the call's parent span; a no-op
+// returning obs.NoSpan for untraced calls.
+func (c *call) startSpan(name string) obs.SpanRef {
+	return c.tr.Start(name, c.span)
+}
+
+// endSpan closes a phase span.
+func (c *call) endSpan(ref obs.SpanRef) { c.tr.End(ref) }
 
 // canceled reports whether the call's context is done. It is the
 // cancellation checkpoint the drivers place at bucket boundaries: one

@@ -50,9 +50,13 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	out := make(retrieval.TopK, q.N())
 	qs := prepareQueries(q)
+	tuneSpan := c.startSpan("tune")
 	if err := ix.ensureTuned(c, qs, tuneTopK{k: k}, &st); err != nil {
+		c.endSpan(tuneSpan)
 		return nil, st, err
 	}
+	c.endSpan(tuneSpan)
+	scanSpan := c.startSpan("scan")
 	start := time.Now()
 	if c.opts.Parallelism == 1 || qs.n() < 2*c.opts.Parallelism {
 		s := ix.getScratch()
@@ -91,6 +95,7 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 		}
 	}
 	st.RetrievalTime = time.Since(start)
+	c.endSpan(scanSpan)
 	ix.countIndexedBuckets(&st)
 	if c.canceled() {
 		return nil, st, c.ctxErr()

@@ -41,6 +41,18 @@ type Stats struct {
 	Tunings       int
 	TuneCacheHits int
 
+	// Phase times. For a single retrieval call each is that call's
+	// wall-clock time; under Add (and therefore in any cumulative or
+	// cross-shard aggregate, like a server's /stats) their semantics
+	// diverge and consumers must not mix them up:
+	//
+	//   - PrepTime is one-time index preprocessing (bucketization, sorting,
+	//     normalization). Add takes the MAX, and a sharded server sums the
+	//     per-shard maxima — so at the server level it is total build cost,
+	//     reported identically by every call.
+	//   - TuneTime and RetrievalTime SUM across calls and across shards:
+	//     a cumulative value is total worker time, not wall clock. Four
+	//     shards scanning concurrently for 1ms report 4ms of RetrievalTime.
 	PrepTime      time.Duration // bucketization + sorting + normalization
 	TuneTime      time.Duration // sample-based algorithm selection (§4.4)
 	RetrievalTime time.Duration // the retrieval phase itself

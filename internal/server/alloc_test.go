@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"testing"
 
 	"lemp"
 	"lemp/internal/data"
+	"lemp/internal/obs"
 )
 
 // TestServerSteadyStateAllocs asserts the serving hot path is allocation-
@@ -59,6 +61,65 @@ func TestServerSteadyStateAllocs(t *testing.T) {
 	// spreads across the candidate count.
 	if perCandidate > 0.10 {
 		t.Fatalf("%.4f allocations per verified candidate (%.1f per call / %d candidates); the hot path is allocating per candidate",
+			perCandidate, allocs, candidates)
+	}
+}
+
+// TestServerObservedSteadyStateAllocs is the same bound with the full
+// observability envelope engaged: a wired Server (metric hooks on the
+// shard set), an active trace in the context (so tune/scan/shard/merge
+// spans record), and a tracer Finish per call. Metrics observation and
+// span recording must stay off the per-candidate cost; only the fixed
+// per-call envelope (context values, root span, fan-out) may allocate.
+func TestServerObservedSteadyStateAllocs(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	srv, err := New(p, Config{
+		Shards:       2,
+		Options:      lemp.Options{Parallelism: 1},
+		CacheEntries: -1,
+		// Rate 0: traces record fully but are never retained, which is the
+		// steady state for the overwhelming majority of production requests.
+		TraceSampleRate: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := q.Head(16)
+	const k = 10
+	sh := srv.Sharded()
+	view := sh.CurrentView()
+	tracer := srv.Tracer()
+
+	observedTopK := func() {
+		tr := tracer.StartTrace()
+		root := tr.Start("topk", obs.NoSpan)
+		ctx := obs.ContextWithSpan(context.Background(), tr, root)
+		if _, _, err := view.TopKCtx(ctx, batch, k); err != nil {
+			t.Fatal(err)
+		}
+		tr.End(root)
+		tracer.Finish(tr, obs.TraceMeta{Kind: "topk", Rows: batch.N()})
+	}
+
+	observedTopK() // warm-up: bucket indexes, tuning cache, scratch pools, trace pool
+
+	before := sh.CumulativeStats()
+	observedTopK()
+	after := sh.CumulativeStats()
+	candidates := after.Candidates - before.Candidates
+	if candidates == 0 {
+		t.Fatal("steady-state call verified no candidates; fixture too small")
+	}
+	if after.Tunings != before.Tunings {
+		t.Fatalf("steady-state call re-tuned (%d -> %d); warm-up failed", before.Tunings, after.Tunings)
+	}
+
+	allocs := testing.AllocsPerRun(10, observedTopK)
+	perCandidate := allocs / float64(candidates)
+	t.Logf("observed path: %.1f allocs/call over %d verified candidates = %.4f allocs/candidate",
+		allocs, candidates, perCandidate)
+	if perCandidate > 0.10 {
+		t.Fatalf("%.4f allocations per verified candidate with observability on (%.1f per call / %d candidates); metrics or tracing are allocating per candidate",
 			perCandidate, allocs, candidates)
 	}
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lemp"
+	"lemp/internal/obs"
 )
 
 // Batcher coalesces concurrent retrieval requests into whole-matrix calls.
@@ -41,9 +43,27 @@ type Batcher struct {
 	// query rows and the number of coalesced requests it served.
 	onDispatch func(rows, requests int)
 
+	// Observability hooks, wired by the server and nil for library use.
+	// batchWaitHist observes each waiter's coalescing delay, batchRowsHist
+	// each dispatched call's row count. tracer supplies the batch-scoped
+	// scratch trace that shared retrievals record spans into; the spans
+	// are then adopted into every still-waiting request's own trace, so a
+	// coalesced request's trace shows the shard fan-out it shared.
+	batchWaitHist *obs.Histogram
+	batchRowsHist *obs.Histogram
+	tracer        *obs.Tracer
+
+	// pending counts query rows sitting in forming (not yet dispatched)
+	// batches — the batcher's queue depth.
+	pending atomic.Int64
+
 	mu      sync.Mutex
 	forming map[batchKey]*formingBatch
 }
+
+// PendingRows returns the number of query rows currently waiting in
+// forming batches.
+func (b *Batcher) PendingRows() int64 { return b.pending.Load() }
 
 // batchKey identifies requests that can share one retrieval call: the
 // problem kind plus its parameter, and the update epoch the request was
@@ -75,16 +95,33 @@ type formingBatch struct {
 }
 
 // waiter is one caller's slice of a forming batch: rows [off, off+n).
+// The trace fields tie the caller's request trace to the shared batch:
+// waitSpan covers the coalescing delay, retSpan the shared retrieval
+// (under which the batch's shard/merge spans are adopted). gone marks a
+// waiter whose caller abandoned the batch (context ended); it is guarded
+// by Batcher.mu, and dispatch only touches a waiter's trace under that
+// lock while !gone — once abandon has run, the trace is back in the
+// caller's hands and the batcher never touches it again.
 type waiter struct {
 	off, n int
 	done   chan batchResult
+
+	tr       *obs.Trace
+	parent   obs.SpanRef
+	waitSpan obs.SpanRef
+	retSpan  obs.SpanRef
+	joined   time.Time
+	gone     bool
 }
 
-// batchResult carries one caller's per-query result rows. Entry.Query is
-// rewritten to the caller's own row numbering; probe ids are global.
+// batchResult carries one caller's per-query result rows and the batch's
+// core stats (shared by every waiter of the batch — the retrieval ran
+// once for all of them). Entry.Query is rewritten to the caller's own row
+// numbering; probe ids are global.
 type batchResult struct {
-	rows [][]lemp.Entry
-	err  error
+	rows  [][]lemp.Entry
+	stats lemp.Stats
+	err   error
 }
 
 // NewBatcher wraps a sharded index with request coalescing.
@@ -102,36 +139,42 @@ func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
 // batch completes or ctx ends. The returned rows parallel the submitted
 // queries.
 func (b *Batcher) TopK(ctx context.Context, data []float64, rows, k int) ([][]lemp.Entry, error) {
-	return b.TopKAt(ctx, b.sharded.CurrentView(), data, rows, k)
+	rowsOut, _, err := b.TopKAt(ctx, b.sharded.CurrentView(), data, rows, k)
+	return rowsOut, err
 }
 
-// TopKAt is TopK pinned to the caller's epoch snapshot.
-func (b *Batcher) TopKAt(ctx context.Context, v *View, data []float64, rows, k int) ([][]lemp.Entry, error) {
+// TopKAt is TopK pinned to the caller's epoch snapshot. The returned stats
+// are the whole batch's core stats — shared by every coalesced request of
+// the batch, since the retrieval ran once for all of them.
+func (b *Batcher) TopKAt(ctx context.Context, v *View, data []float64, rows, k int) ([][]lemp.Entry, lemp.Stats, error) {
 	return b.submit(ctx, batchKey{topk: true, k: k, epoch: v.Epoch()}, v, data, rows)
 }
 
 // AboveTheta submits one request's query rows for Above-θ retrieval at the
 // current epoch and blocks until its batch completes or ctx ends.
 func (b *Batcher) AboveTheta(ctx context.Context, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
-	return b.AboveThetaAt(ctx, b.sharded.CurrentView(), data, rows, theta)
+	rowsOut, _, err := b.AboveThetaAt(ctx, b.sharded.CurrentView(), data, rows, theta)
+	return rowsOut, err
 }
 
-// AboveThetaAt is AboveTheta pinned to the caller's epoch snapshot.
-func (b *Batcher) AboveThetaAt(ctx context.Context, v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, error) {
+// AboveThetaAt is AboveTheta pinned to the caller's epoch snapshot, with
+// the batch's shared core stats.
+func (b *Batcher) AboveThetaAt(ctx context.Context, v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
 	return b.submit(ctx, batchKey{theta: theta, epoch: v.Epoch()}, v, data, rows)
 }
 
-func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []float64, rows int) ([][]lemp.Entry, error) {
+func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []float64, rows int) ([][]lemp.Entry, lemp.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if rows == 0 {
-		return nil, nil
+		return nil, lemp.Stats{}, nil
 	}
 	if b.window <= 0 || b.max <= 1 {
-		// No coalescing: the request's own context drives the retrieval.
+		// No coalescing: the request's own context drives the retrieval,
+		// and its trace (if any) receives the shard/merge spans directly.
 		res := b.retrieve(ctx, key, v, data, rows, 1)
-		return res.rows, res.err
+		return res.rows, res.stats, res.err
 	}
 
 	b.mu.Lock()
@@ -151,11 +194,14 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 		})
 		b.forming[key] = fb
 	}
-	w := &waiter{off: fb.rows, n: rows, done: make(chan batchResult, 1)}
+	w := &waiter{off: fb.rows, n: rows, done: make(chan batchResult, 1), retSpan: obs.NoSpan, joined: time.Now()}
+	w.tr, w.parent = obs.SpanFrom(ctx)
+	w.waitSpan = w.tr.Start("batch.wait", w.parent)
 	fb.data = append(fb.data, data...)
 	fb.rows += rows
 	fb.waiters = append(fb.waiters, w)
 	fb.live++
+	b.pending.Add(int64(rows))
 	if fb.rows >= b.max {
 		b.fire(fb)
 	}
@@ -163,15 +209,15 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 
 	select {
 	case res := <-w.done:
-		return res.rows, res.err
+		return res.rows, res.stats, res.err
 	case <-ctx.Done():
 		// This caller is gone (client disconnect, deadline). Its rows stay
 		// in the batch — removing them would renumber other waiters — but
 		// when every caller has left, the batch context cancels and the
 		// sharded retrieval aborts mid-scan instead of running to
 		// completion for nobody.
-		b.abandon(fb)
-		return nil, ctx.Err()
+		b.abandon(fb, w)
+		return nil, lemp.Stats{}, ctx.Err()
 	}
 }
 
@@ -180,8 +226,16 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 // retired entirely — stopped timer, removed from the forming map — so a
 // later caller on the same key starts a fresh batch instead of joining one
 // whose merged context is already dead (and inheriting its cancellation).
-func (b *Batcher) abandon(fb *formingBatch) {
+//
+// The departing waiter's trace leaves with its request: gone is set under
+// b.mu, after which dispatch never touches w.tr again, and any spans the
+// batcher opened are closed here so the request can finish its trace
+// immediately.
+func (b *Batcher) abandon(fb *formingBatch, w *waiter) {
 	b.mu.Lock()
+	w.gone = true
+	w.tr.End(w.waitSpan)
+	w.tr.End(w.retSpan)
 	fb.live--
 	if fb.live == 0 {
 		fb.cancel()
@@ -193,6 +247,7 @@ func (b *Batcher) abandon(fb *formingBatch) {
 			if b.forming[fb.key] == fb {
 				delete(b.forming, fb.key)
 			}
+			b.pending.Add(-int64(fb.rows))
 		}
 	}
 	b.mu.Unlock()
@@ -208,16 +263,61 @@ func (b *Batcher) fire(fb *formingBatch) {
 	if b.forming[fb.key] == fb {
 		delete(b.forming, fb.key)
 	}
+	b.pending.Add(-int64(fb.rows))
 	go b.dispatch(fb)
 }
 
 // dispatch runs the combined retrieval and scatters rows to the waiters.
+//
+// Tracing: the shared retrieval cannot record into any single waiter's
+// trace — that waiter may abandon (and finish its trace) mid-retrieval —
+// so it records into a batch-scoped scratch trace instead, and after the
+// retrieval its spans are adopted into every waiter that is still here.
+// All per-waiter trace access happens under b.mu opposite abandon's gone
+// flag, so a departed request's trace is never touched.
 func (b *Batcher) dispatch(fb *formingBatch) {
 	defer fb.cancel() // release the merged context once everyone is served
-	res := b.retrieve(fb.ctx, fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
+	traced := false
+	b.mu.Lock()
+	for _, w := range fb.waiters {
+		if w.gone {
+			continue
+		}
+		w.tr.End(w.waitSpan)
+		b.batchWaitHist.ObserveDuration(time.Since(w.joined))
+		w.retSpan = w.tr.Start("batch.retrieve", w.parent)
+		if w.tr != nil {
+			traced = true
+		}
+	}
+	b.mu.Unlock()
+
+	rctx := fb.ctx
+	var btr *obs.Trace
+	if traced && b.tracer != nil {
+		btr = b.tracer.StartTrace()
+		rctx = obs.ContextWithSpan(fb.ctx, btr, obs.NoSpan)
+	}
+	res := b.retrieve(rctx, fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
+
+	b.mu.Lock()
+	for _, w := range fb.waiters {
+		if w.gone {
+			continue
+		}
+		if btr != nil {
+			w.tr.AdoptSpans(btr, 0, obs.SpanRef(btr.Len()), w.retSpan)
+		}
+		w.tr.End(w.retSpan)
+	}
+	b.mu.Unlock()
+	if btr != nil {
+		b.tracer.Release(btr)
+	}
+
 	for _, w := range fb.waiters {
 		if res.err != nil {
-			w.done <- batchResult{err: res.err}
+			w.done <- batchResult{stats: res.stats, err: res.err}
 			continue
 		}
 		rows := res.rows[w.off : w.off+w.n]
@@ -226,7 +326,7 @@ func (b *Batcher) dispatch(fb *formingBatch) {
 				row[j].Query = i
 			}
 		}
-		w.done <- batchResult{rows: rows}
+		w.done <- batchResult{rows: rows, stats: res.stats}
 	}
 }
 
@@ -241,16 +341,17 @@ func (b *Batcher) retrieve(ctx context.Context, key batchKey, v *View, data []fl
 	if b.onDispatch != nil {
 		b.onDispatch(rows, requests)
 	}
+	b.batchRowsHist.Observe(float64(rows))
 	if key.topk {
-		top, _, err := v.TopKCtx(ctx, q, key.k)
+		top, st, err := v.TopKCtx(ctx, q, key.k)
 		if err != nil {
-			return batchResult{err: err}
+			return batchResult{stats: st, err: err}
 		}
-		return batchResult{rows: top}
+		return batchResult{rows: top, stats: st}
 	}
-	out, _, err := v.AboveThetaCtx(ctx, q, key.theta)
+	out, st, err := v.AboveThetaCtx(ctx, q, key.theta)
 	if err != nil {
-		return batchResult{err: err}
+		return batchResult{stats: st, err: err}
 	}
-	return batchResult{rows: out}
+	return batchResult{rows: out, stats: st}
 }

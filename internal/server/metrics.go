@@ -1,0 +1,233 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"lemp"
+	"lemp/internal/obs"
+)
+
+// The server's metric surface, exposed in Prometheus text format at
+// GET /metrics. Everything observed on the serving path — request
+// latencies, batch-wait time, per-shard scan time, merge time, per-call
+// core counters — records through pre-resolved handles (atomic adds, no
+// allocation, no locks); state that already lives in an atomic somewhere
+// (cache hits, epoch, queue depth) is exported through func-backed
+// counters/gauges read only at scrape time.
+
+// endpoints instrumented with request counters and latency histograms.
+// A fixed list, never request data: label cardinality stays bounded.
+var endpointNames = []string{"topk", "above", "update", "stats", "healthz", "readyz", "metrics", "traces"}
+
+// statusCodes pre-resolved per endpoint. 499 is the synthesized "client
+// closed request" status for requests canceled before a response was
+// written.
+var statusCodes = []int{200, 400, 413, 499, 500, 503}
+
+type serverMetrics struct {
+	reg *obs.Registry
+
+	inFlight *obs.Gauge
+
+	reqDur        map[string]*obs.Histogram       // endpoint → latency
+	reqTotal      map[string]map[int]*obs.Counter // endpoint → status → count
+	reqTotalOther map[string]*obs.Counter         // endpoint → unexpected status
+
+	batchWait *obs.Histogram
+	batchRows *obs.Histogram
+	shardScan []*obs.Histogram // per shard
+	mergeDur  *obs.Histogram
+
+	coreCandidates  *obs.Counter
+	coreResults     *obs.Counter
+	coreBlock       *obs.Counter
+	coreScalar      *obs.Counter
+	coreProcessed   *obs.Counter
+	corePruned      *obs.Counter
+	coreTunings     *obs.Counter
+	coreTuneHits    *obs.Counter
+	coreTuneSeconds *obs.Counter
+	coreScanSeconds *obs.Counter
+
+	slowQueries *obs.Counter
+}
+
+// newServerMetrics registers every family and pre-resolves the hot-path
+// children (per endpoint, per status, per shard).
+func newServerMetrics(shards int) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:           reg,
+		reqDur:        make(map[string]*obs.Histogram, len(endpointNames)),
+		reqTotal:      make(map[string]map[int]*obs.Counter, len(endpointNames)),
+		reqTotalOther: make(map[string]*obs.Counter, len(endpointNames)),
+	}
+
+	m.inFlight = reg.Gauge("lemp_requests_in_flight",
+		"Retrieval/update requests currently being served.")
+
+	durVec := reg.HistogramVec("lemp_request_duration_seconds",
+		"End-to-end request latency by endpoint.", obs.LatencyBuckets(), "endpoint")
+	totVec := reg.CounterVec("lemp_http_requests_total",
+		"HTTP requests by endpoint and status (499 = client closed request).",
+		"endpoint", "status")
+	for _, ep := range endpointNames {
+		m.reqDur[ep] = durVec.With(ep)
+		byStatus := make(map[int]*obs.Counter, len(statusCodes))
+		for _, code := range statusCodes {
+			byStatus[code] = totVec.With(ep, fmt.Sprint(code))
+		}
+		m.reqTotal[ep] = byStatus
+		m.reqTotalOther[ep] = totVec.With(ep, "other")
+	}
+
+	m.batchWait = reg.Histogram("lemp_batch_wait_seconds",
+		"Time a request spent waiting for its micro-batch to dispatch.",
+		obs.ExpBuckets(50e-6, 2, 12))
+	m.batchRows = reg.Histogram("lemp_batch_rows",
+		"Query rows per dispatched retrieval call.",
+		obs.ExpBuckets(1, 2, 10))
+	scanVec := reg.HistogramVec("lemp_shard_scan_seconds",
+		"Per-shard retrieval time (including serialization wait), the per-shard skew signal.",
+		obs.LatencyBuckets(), "shard")
+	m.shardScan = make([]*obs.Histogram, shards)
+	for i := range m.shardScan {
+		m.shardScan[i] = scanVec.With(fmt.Sprint(i))
+	}
+	m.mergeDur = reg.Histogram("lemp_merge_seconds",
+		"K-way merge (top-k) or row sort (above-theta) time per retrieval call.",
+		obs.ExpBuckets(10e-6, 2, 12))
+
+	m.coreCandidates = reg.Counter("lemp_core_candidates_total",
+		"Probe vectors that survived bucket pruning and were exactly verified (the paper's |C|).")
+	m.coreResults = reg.Counter("lemp_core_results_total",
+		"Verified entries that passed the threshold or ended in a top-k set.")
+	m.coreBlock = reg.Counter("lemp_core_block_verified_total",
+		"Candidates verified through the blocked panel kernels.")
+	m.coreScalar = reg.Counter("lemp_core_scalar_verified_total",
+		"Candidates verified through the scalar tail path.")
+	m.coreProcessed = reg.Counter("lemp_core_processed_pairs_total",
+		"(query, bucket) combinations processed.")
+	m.corePruned = reg.Counter("lemp_core_pruned_pairs_total",
+		"(query, bucket) combinations pruned by the local threshold bound.")
+	m.coreTunings = reg.Counter("lemp_core_tunings_total",
+		"Sample-tuning passes executed.")
+	m.coreTuneHits = reg.Counter("lemp_core_tune_cache_hits_total",
+		"Tuning phases answered from the shared tuning cache.")
+	m.coreTuneSeconds = reg.Counter("lemp_core_tune_seconds_total",
+		"Cumulative tuning time, summed across shards and calls (worker time, not wall clock).")
+	m.coreScanSeconds = reg.Counter("lemp_core_scan_seconds_total",
+		"Cumulative retrieval-scan time, summed across shards and calls (worker time, not wall clock).")
+
+	m.slowQueries = reg.Counter("lemp_slow_queries_total",
+		"Requests past the slow-query threshold (always traced and logged).")
+
+	return m
+}
+
+// observeRequest records one finished request.
+func (m *serverMetrics) observeRequest(endpoint string, status int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.reqDur[endpoint].ObserveDuration(dur)
+	if c, ok := m.reqTotal[endpoint][status]; ok {
+		c.Inc()
+	} else {
+		m.reqTotalOther[endpoint].Inc()
+	}
+}
+
+// recordCallStats folds one retrieval call's core stats into the counters;
+// it runs once per sharded call (not per request) and performs only atomic
+// adds.
+func (m *serverMetrics) recordCallStats(st lemp.Stats) {
+	if m == nil {
+		return
+	}
+	m.coreCandidates.Add(float64(st.Candidates))
+	m.coreResults.Add(float64(st.Results))
+	m.coreBlock.Add(float64(st.BlockVerified))
+	m.coreScalar.Add(float64(st.ScalarVerified))
+	m.coreProcessed.Add(float64(st.ProcessedPairs))
+	m.corePruned.Add(float64(st.PrunedPairs))
+	m.coreTunings.Add(float64(st.Tunings))
+	m.coreTuneHits.Add(float64(st.TuneCacheHits))
+	m.coreTuneSeconds.AddDuration(st.TuneTime)
+	m.coreScanSeconds.AddDuration(st.RetrievalTime)
+}
+
+// wireState registers the func-backed families that read live server
+// state at scrape time. Called once from newServer, after every component
+// exists.
+func (s *Server) wireState() {
+	m := s.metrics
+	reg := m.reg
+	reg.GaugeFunc("lemp_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("lemp_ready",
+		"1 when the server is serving (built, pretuned, not draining), else 0.",
+		func() float64 {
+			if s.ready.Load() && !s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("lemp_epoch",
+		"Current update epoch (0 at construction, +1 per applied update batch).",
+		func() float64 { return float64(s.sharded.Epoch()) })
+	reg.GaugeFunc("lemp_live_probes",
+		"Live probe vectors across all shards.",
+		func() float64 { return float64(s.sharded.N()) })
+	reg.GaugeFunc("lemp_shards",
+		"Number of index shards.",
+		func() float64 { return float64(s.sharded.NumShards()) })
+	reg.CounterFunc("lemp_requests_total",
+		"Retrieval requests accepted (post-validation).",
+		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("lemp_updates_total",
+		"Update batches applied.",
+		func() float64 { return float64(s.updates.Load()) })
+	reg.CounterFunc("lemp_compactions_total",
+		"Shard re-bucketizations triggered by update delta mass.",
+		func() float64 { return float64(s.sharded.Compactions()) })
+	reg.CounterFunc("lemp_batches_total",
+		"Retrieval calls dispatched (each serving one coalesced batch).",
+		func() float64 { return float64(s.batches.Load()) })
+	reg.CounterFunc("lemp_batch_rows_total",
+		"Query rows across all dispatched retrieval calls.",
+		func() float64 { return float64(s.batchRows.Load()) })
+	reg.GaugeFunc("lemp_batch_queue_rows",
+		"Query rows currently waiting in forming batches (batcher queue depth).",
+		func() float64 { return float64(s.batcher.PendingRows()) })
+	reg.CounterFunc("lemp_cache_hits_total",
+		"Result-cache hits.",
+		func() float64 { return float64(s.cache.Hits()) })
+	reg.CounterFunc("lemp_cache_misses_total",
+		"Result-cache misses.",
+		func() float64 { return float64(s.cache.Misses()) })
+	reg.GaugeFunc("lemp_cache_rows",
+		"Result rows currently cached.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("lemp_cache_entries",
+		"Result entries currently cached (the capacity unit).",
+		func() float64 { return float64(s.cache.Entries()) })
+	reg.CounterFunc("lemp_traces_finished_total",
+		"Request traces recorded (tail-sampled at completion).",
+		func() float64 { return float64(s.tracer.Finished()) })
+	reg.CounterFunc("lemp_traces_retained_total",
+		"Request traces retained into the /debug/traces ring.",
+		func() float64 { return float64(s.tracer.Retained()) })
+
+	// Hook the sharded layer: per-shard scan histograms, merge histogram,
+	// and the per-call stats fold.
+	s.sharded.scanHist = m.shardScan
+	s.sharded.mergeHist = m.mergeDur
+	s.sharded.onCallStats = m.recordCallStats
+	// And the batcher: wait/size histograms and the batch-scoped tracer.
+	s.batcher.batchWaitHist = m.batchWait
+	s.batcher.batchRowsHist = m.batchRows
+	s.batcher.tracer = s.tracer
+}

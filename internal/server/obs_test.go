@@ -1,0 +1,468 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lemp"
+	"lemp/internal/data"
+	"lemp/internal/obs"
+)
+
+// obsServer builds a small wired server plus an in-memory JSON log sink.
+func obsServer(t *testing.T, cfg Config) (*Server, http.Handler, *logSink) {
+	t.Helper()
+	_, p := data.Smoke.Generate()
+	sink := &logSink{}
+	cfg.Logger = slog.New(slog.NewJSONHandler(sink, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	srv, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, srv.Handler(), sink
+}
+
+// logSink buffers slog JSON output and decodes it back into records.
+type logSink struct{ buf bytes.Buffer }
+
+func (s *logSink) Write(p []byte) (int, error) { return s.buf.Write(p) }
+
+func (s *logSink) records(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(s.buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func (s *logSink) find(t *testing.T, msg string) map[string]any {
+	t.Helper()
+	for _, rec := range s.records(t) {
+		if rec["msg"] == msg {
+			return rec
+		}
+	}
+	return nil
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func topKBody(t *testing.T, dim, rows, k int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"queries":[`)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('[')
+		for j := 0; j < dim; j++ {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString("0.1")
+		}
+		b.WriteByte(']')
+	}
+	b.WriteString(`],"k":`)
+	b.WriteString(strconv.Itoa(k))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// TestMetricsEndpoint drives real traffic through the handler and checks
+// the /metrics exposition parses under the strict in-repo parser with every
+// family the dashboards (and the CI smoke check) rely on, plus bounded
+// label cardinality.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, h, _ := obsServer(t, Config{Shards: 2, Options: lemp.Options{Parallelism: 1}})
+	dim := srv.Sharded().R()
+
+	if w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 3, 5)); w.Code != 200 {
+		t.Fatalf("topk = %d: %s", w.Code, w.Body.String())
+	}
+	// Same queries again: cache hits this time.
+	if w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 3, 5)); w.Code != 200 {
+		t.Fatalf("topk = %d: %s", w.Code, w.Body.String())
+	}
+	if w := doJSON(t, h, "POST", "/v1/topk", `{"queries":[[1]],"k":0}`); w.Code != 400 {
+		t.Fatalf("bad topk = %d, want 400", w.Code)
+	}
+	if w := doJSON(t, h, "POST", "/v1/update", `{"updates":[{"op":"remove","id":0}]}`); w.Code != 200 {
+		t.Fatalf("update = %d: %s", w.Code, w.Body.String())
+	}
+
+	w := doJSON(t, h, "GET", "/metrics", "")
+	if w.Code != 200 {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	fams, err := obs.ParseExposition(strings.NewReader(w.Body.String()))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, w.Body.String())
+	}
+	required := []string{
+		"lemp_requests_in_flight", "lemp_request_duration_seconds",
+		"lemp_http_requests_total", "lemp_batch_wait_seconds",
+		"lemp_batch_rows", "lemp_shard_scan_seconds", "lemp_merge_seconds",
+		"lemp_core_candidates_total", "lemp_core_results_total",
+		"lemp_core_block_verified_total", "lemp_core_scalar_verified_total",
+		"lemp_core_processed_pairs_total", "lemp_core_pruned_pairs_total",
+		"lemp_core_tunings_total", "lemp_core_tune_cache_hits_total",
+		"lemp_core_tune_seconds_total", "lemp_core_scan_seconds_total",
+		"lemp_slow_queries_total", "lemp_uptime_seconds", "lemp_ready",
+		"lemp_epoch", "lemp_live_probes", "lemp_shards",
+		"lemp_requests_total", "lemp_updates_total", "lemp_compactions_total",
+		"lemp_batches_total", "lemp_batch_rows_total", "lemp_batch_queue_rows",
+		"lemp_cache_hits_total", "lemp_cache_misses_total",
+		"lemp_cache_rows", "lemp_cache_entries",
+		"lemp_traces_finished_total", "lemp_traces_retained_total",
+	}
+	for _, name := range required {
+		if fams[name] == nil {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+
+	value := func(name string, labels map[string]string) (float64, bool) {
+		f := fams[name]
+		if f == nil {
+			return 0, false
+		}
+	samples:
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue samples
+				}
+			}
+			return s.Value, true
+		}
+		return 0, false
+	}
+	if v, ok := value("lemp_http_requests_total", map[string]string{"endpoint": "topk", "status": "200"}); !ok || v != 2 {
+		t.Errorf("topk 200 count = %v (ok=%v), want 2", v, ok)
+	}
+	if v, ok := value("lemp_http_requests_total", map[string]string{"endpoint": "topk", "status": "400"}); !ok || v != 1 {
+		t.Errorf("topk 400 count = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("lemp_http_requests_total", map[string]string{"endpoint": "update", "status": "200"}); !ok || v != 1 {
+		t.Errorf("update 200 count = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("lemp_core_candidates_total", nil); !ok || v <= 0 {
+		t.Errorf("core candidates = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := value("lemp_cache_hits_total", nil); !ok || v != 3 {
+		t.Errorf("cache hits = %v (ok=%v), want 3", v, ok)
+	}
+	if v, ok := value("lemp_shards", nil); !ok || v != 2 {
+		t.Errorf("lemp_shards = %v (ok=%v), want 2", v, ok)
+	}
+	if v, ok := value("lemp_epoch", nil); !ok || v != 1 {
+		t.Errorf("lemp_epoch = %v (ok=%v), want 1 after one update", v, ok)
+	}
+	// One scan histogram per shard and nothing more: label cardinality on
+	// the per-shard family is bounded by the shard count.
+	if card := fams["lemp_shard_scan_seconds"].LabelCardinality(); card != 2 {
+		t.Errorf("lemp_shard_scan_seconds cardinality = %d, want 2", card)
+	}
+	if v, ok := value("lemp_request_duration_seconds_count", nil); ok && v == 0 {
+		t.Errorf("request duration histogram recorded nothing")
+	}
+}
+
+// TestTraceHeaderAndRing checks the per-request trace contract: retrieval
+// responses carry X-Lemp-Trace, and with SampleRate 1 the same id is
+// retrievable from GET /debug/traces with the span tree intact. The batch
+// window is on, so the trace must show the coalescing shape: the wait span,
+// the shared-retrieval span, and the shard/scan/merge spans adopted from
+// the batch's scratch trace.
+func TestTraceHeaderAndRing(t *testing.T) {
+	srv, h, _ := obsServer(t, Config{
+		Shards:          2,
+		Options:         lemp.Options{Parallelism: 1},
+		TraceSampleRate: 1,
+		BatchWindow:     100 * time.Microsecond,
+	})
+	dim := srv.Sharded().R()
+
+	w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 2, 5))
+	if w.Code != 200 {
+		t.Fatalf("topk = %d: %s", w.Code, w.Body.String())
+	}
+	id := w.Header().Get("X-Lemp-Trace")
+	if len(id) != 16 {
+		t.Fatalf("X-Lemp-Trace = %q, want 16 hex digits", id)
+	}
+	// Probe endpoints are untraced: no header, no ring entry.
+	if hdr := doJSON(t, h, "GET", "/healthz", "").Header().Get("X-Lemp-Trace"); hdr != "" {
+		t.Fatalf("/healthz carries a trace header %q", hdr)
+	}
+
+	tw := doJSON(t, h, "GET", "/debug/traces", "")
+	if tw.Code != 200 {
+		t.Fatalf("/debug/traces = %d", tw.Code)
+	}
+	var resp struct {
+		Traces []*obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(tw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(resp.Traces))
+	}
+	snap := resp.Traces[0]
+	if snap.TraceID != id {
+		t.Fatalf("ring trace id %s != header %s", snap.TraceID, id)
+	}
+	if snap.Kind != "topk" || snap.Rows != 2 {
+		t.Fatalf("trace meta = kind %q rows %d, want topk/2", snap.Kind, snap.Rows)
+	}
+	names := map[string]int{}
+	shards := map[int32]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name]++
+		if sp.Name == "shard" {
+			shards[sp.Shard] = true
+		}
+	}
+	for _, want := range []string{"topk", "batch.wait", "batch.retrieve", "shard", "scan", "merge"} {
+		if names[want] == 0 {
+			t.Errorf("span %q missing from trace (have %v)", want, names)
+		}
+	}
+	if !shards[0] || !shards[1] {
+		t.Errorf("shard fan-out spans incomplete: %v", shards)
+	}
+}
+
+// TestSlowQueryLog forces every request over the slow threshold and checks
+// the three-way agreement the debugging workflow depends on: the response
+// header, the slow-query log record, and the retained trace all name the
+// same trace id.
+func TestSlowQueryLog(t *testing.T) {
+	srv, h, sink := obsServer(t, Config{
+		Shards:             2,
+		Options:            lemp.Options{Parallelism: 1},
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+	})
+	dim := srv.Sharded().R()
+
+	w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 2, 5))
+	if w.Code != 200 {
+		t.Fatalf("topk = %d: %s", w.Code, w.Body.String())
+	}
+	id := w.Header().Get("X-Lemp-Trace")
+
+	rec := sink.find(t, "slow query")
+	if rec == nil {
+		t.Fatalf("no slow-query record in log:\n%s", sink.buf.String())
+	}
+	if rec["level"] != "WARN" {
+		t.Errorf("slow query logged at %v, want WARN", rec["level"])
+	}
+	if rec["trace"] != id {
+		t.Errorf("slow-query trace = %v, header = %s", rec["trace"], id)
+	}
+	if rec["endpoint"] != "topk" || rec["rows"] != float64(2) {
+		t.Errorf("slow-query record wrong: %v", rec)
+	}
+	if rec["scan_ns"] == nil || rec["shards"] == nil {
+		t.Errorf("slow-query record missing phase timings: %v", rec)
+	}
+	if sh, ok := rec["shards"].([]any); !ok || len(sh) != 2 {
+		t.Errorf("slow-query shard timings = %v, want 2 entries", rec["shards"])
+	}
+
+	// Slow requests are retained even at sample rate 0.
+	var resp struct {
+		Traces []*obs.TraceSnapshot `json:"traces"`
+	}
+	tw := doJSON(t, h, "GET", "/debug/traces", "")
+	if err := json.Unmarshal(tw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0].TraceID != id || !resp.Traces[0].Slow {
+		t.Fatalf("slow trace not retained correctly: %+v", resp.Traces)
+	}
+
+	// The slow-query counter moved.
+	mw := doJSON(t, h, "GET", "/metrics", "")
+	fams, err := obs.ParseExposition(strings.NewReader(mw.Body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fams["lemp_slow_queries_total"].Samples {
+		if s.Value < 1 {
+			t.Errorf("lemp_slow_queries_total = %v, want >= 1", s.Value)
+		}
+	}
+}
+
+// TestReadyzLifecycle pins the readiness contract: ready on construction,
+// 503 "starting" while warm-up clears it, 503 "draining" permanently after
+// BeginDrain — while /healthz stays 200 throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, h, sink := obsServer(t, Config{Shards: 1, Options: lemp.Options{Parallelism: 1}})
+
+	status := func() (int, string) {
+		w := doJSON(t, h, "GET", "/readyz", "")
+		var body struct {
+			Status string `json:"status"`
+		}
+		json.Unmarshal(w.Body.Bytes(), &body)
+		return w.Code, body.Status
+	}
+	if code, st := status(); code != 200 || st != "ready" {
+		t.Fatalf("initial readyz = %d %q, want 200 ready", code, st)
+	}
+	srv.SetReady(false)
+	if code, st := status(); code != 503 || st != "starting" {
+		t.Fatalf("unready readyz = %d %q, want 503 starting", code, st)
+	}
+	if w := doJSON(t, h, "GET", "/healthz", ""); w.Code != 200 {
+		t.Fatalf("healthz during warm-up = %d, want 200", w.Code)
+	}
+	srv.SetReady(true)
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+	if code, st := status(); code != 503 || st != "draining" {
+		t.Fatalf("draining readyz = %d %q, want 503 draining", code, st)
+	}
+	srv.SetReady(true) // ready cannot undo draining
+	if code, _ := status(); code != 503 {
+		t.Fatalf("readyz after drain+SetReady = %d, want 503", code)
+	}
+	if w := doJSON(t, h, "GET", "/healthz", ""); w.Code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", w.Code)
+	}
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	if rec := sink.find(t, "draining"); rec == nil {
+		t.Fatal("BeginDrain logged no lifecycle event")
+	}
+	// lemp_ready reflects the drain.
+	mw := doJSON(t, h, "GET", "/metrics", "")
+	fams, err := obs.ParseExposition(strings.NewReader(mw.Body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fams["lemp_ready"].Samples[0].Value; v != 0 {
+		t.Fatalf("lemp_ready = %v while draining, want 0", v)
+	}
+}
+
+// TestAccessLog checks every request emits a debug-level access record with
+// the fields an operator greps for.
+func TestAccessLog(t *testing.T) {
+	srv, h, sink := obsServer(t, Config{Shards: 1, Options: lemp.Options{Parallelism: 1}})
+	dim := srv.Sharded().R()
+	w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 1, 3))
+	if w.Code != 200 {
+		t.Fatalf("topk = %d", w.Code)
+	}
+	rec := sink.find(t, "request")
+	if rec == nil {
+		t.Fatalf("no access record in log:\n%s", sink.buf.String())
+	}
+	if rec["method"] != "POST" || rec["path"] != "/v1/topk" || rec["status"] != float64(200) {
+		t.Errorf("access record wrong: %v", rec)
+	}
+	if rec["trace"] != w.Header().Get("X-Lemp-Trace") {
+		t.Errorf("access trace = %v, header = %q", rec["trace"], w.Header().Get("X-Lemp-Trace"))
+	}
+	if b, ok := rec["bytes"].(float64); !ok || b <= 0 {
+		t.Errorf("access bytes = %v, want > 0", rec["bytes"])
+	}
+	if rec["duration"] == nil {
+		t.Errorf("access record missing duration: %v", rec)
+	}
+}
+
+// TestStatsDurations checks /stats serves the machine-stable _ns integers
+// alongside the human-readable strings, and that they agree.
+func TestStatsDurations(t *testing.T) {
+	srv, h, _ := obsServer(t, Config{Shards: 2, Options: lemp.Options{Parallelism: 1}, CacheEntries: -1})
+	dim := srv.Sharded().R()
+	if w := doJSON(t, h, "POST", "/v1/topk", topKBody(t, dim, 2, 5)); w.Code != 200 {
+		t.Fatalf("topk = %d", w.Code)
+	}
+	w := doJSON(t, h, "GET", "/stats", "")
+	if w.Code != 200 {
+		t.Fatalf("/stats = %d", w.Code)
+	}
+	var st struct {
+		Core struct {
+			PrepNS      int64  `json:"prep_ns"`
+			Prep        string `json:"prep"`
+			TuneNS      int64  `json:"tune_ns"`
+			Tune        string `json:"tune"`
+			RetrievalNS int64  `json:"retrieval_ns"`
+			Retrieval   string `json:"retrieval"`
+		} `json:"core"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Core
+	if c.RetrievalNS <= 0 {
+		t.Fatalf("retrieval_ns = %d, want > 0 after a query", c.RetrievalNS)
+	}
+	for _, pair := range []struct {
+		ns  int64
+		str string
+	}{{c.PrepNS, c.Prep}, {c.TuneNS, c.Tune}, {c.RetrievalNS, c.Retrieval}} {
+		d, err := time.ParseDuration(pair.str)
+		if err != nil {
+			t.Fatalf("duration string %q does not parse: %v", pair.str, err)
+		}
+		if d.Nanoseconds() != pair.ns {
+			t.Fatalf("duration pair disagrees: %q != %dns", pair.str, pair.ns)
+		}
+	}
+}
+
+// TestPprofGate checks the profiling endpoints are mounted only on opt-in.
+func TestPprofGate(t *testing.T) {
+	_, off, _ := obsServer(t, Config{Shards: 1, Options: lemp.Options{Parallelism: 1}})
+	if w := doJSON(t, off, "GET", "/debug/pprof/", ""); w.Code == 200 {
+		t.Fatal("pprof served without EnablePprof")
+	}
+	_, on, _ := obsServer(t, Config{Shards: 1, Options: lemp.Options{Parallelism: 1}, EnablePprof: true})
+	if w := doJSON(t, on, "GET", "/debug/pprof/", ""); w.Code != 200 {
+		t.Fatalf("pprof index = %d with EnablePprof, want 200", w.Code)
+	}
+}

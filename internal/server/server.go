@@ -6,13 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"lemp"
+	"lemp/internal/obs"
 )
 
 // Config sizes a Server. The zero value is usable: it means 1 shard, no
@@ -59,6 +62,26 @@ type Config struct {
 	// scans, which abort mid-bucket when it expires, so a pathological
 	// query cannot pin shard workers indefinitely.
 	RequestTimeout time.Duration
+
+	// Logger receives the structured access log (Debug), slow-query log
+	// (Warn) and lifecycle events (Info). nil disables logging entirely
+	// (metrics and tracing stay on).
+	Logger *slog.Logger
+	// SlowQueryThreshold marks retrieval/update requests slower than this
+	// as slow: they are always retained in the trace ring and logged with
+	// per-phase timings (default 0: slow-query capture off).
+	SlowQueryThreshold time.Duration
+	// TraceSampleRate is the probability a fast request's trace is
+	// retained for GET /debug/traces (default 0: only slow requests are
+	// retained). Recording itself is always on and allocation-free;
+	// sampling decides retention at request end (tail sampling).
+	TraceSampleRate float64
+	// TraceRingSize bounds the retained-trace ring (default 256).
+	TraceRingSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: profiles expose internals and
+	// cost CPU, so production servers opt in explicitly.
+	EnablePprof bool
 }
 
 // withDefaults resolves zero fields.
@@ -92,11 +115,15 @@ func (c Config) withDefaults() Config {
 
 // Server answers LEMP retrieval queries and probe updates over HTTP:
 //
-//	POST /v1/topk    {"queries": [[...], ...], "k": 10}
-//	POST /v1/above   {"queries": [[...], ...], "theta": 0.9}
-//	POST /v1/update  {"updates": [{"op": "add", "vector": [...]}, ...]}
-//	GET  /healthz
-//	GET  /stats
+//	POST /v1/topk        {"queries": [[...], ...], "k": 10}
+//	POST /v1/above       {"queries": [[...], ...], "theta": 0.9}
+//	POST /v1/update      {"updates": [{"op": "add", "vector": [...]}, ...]}
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while starting or draining)
+//	GET  /stats          cumulative JSON stats
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   retained request traces (tail-sampled)
+//	GET  /debug/pprof/   runtime profiles (Config.EnablePprof)
 //
 // Responses list one result row per submitted query, each row an array of
 // {"probe", "value"} objects (global probe ids; top-k rows by decreasing
@@ -107,6 +134,19 @@ type Server struct {
 	batcher *Batcher
 	cache   *Cache
 	start   time.Time
+
+	metrics *serverMetrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger // nil-safe via logging flag
+	logging bool
+
+	// ready flips on once the owner declares the index built/restored and
+	// pretuned (New* constructors are synchronous, so it defaults true;
+	// cmd/lemp-serve clears it while warming up). draining flips on at
+	// BeginDrain and never back. GET /readyz reports 200 only while
+	// ready && !draining.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	requests  atomic.Uint64 // retrieval requests accepted
 	updates   atomic.Uint64 // update batches applied
@@ -156,13 +196,47 @@ func newServer(sharded *Sharded, cfg Config) *Server {
 		batcher: NewBatcher(sharded, cfg.BatchWindow, cfg.BatchMax),
 		cache:   NewCache(cfg.CacheEntries),
 		start:   time.Now(),
+		logger:  cfg.Logger,
+		logging: cfg.Logger != nil,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.tracer = obs.NewTracer(obs.TracerConfig{SampleRate: cfg.TraceSampleRate, RingSize: cfg.TraceRingSize})
+	s.metrics = newServerMetrics(sharded.NumShards())
+	s.wireState()
+	s.ready.Store(true)
 	s.batcher.onDispatch = func(rows, _ int) {
 		s.batches.Add(1)
 		s.batchRows.Add(uint64(rows))
 	}
 	return s
 }
+
+// Registry exposes the server's metric registry (for embedding the
+// families into a larger exposition, and for tests).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer exposes the server's tracer (tests and custom trace sinks).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SetReady flips the readiness probe: GET /readyz answers 200 only while
+// ready and not draining. Constructors start ready; an owner doing
+// post-construction warm-up (snapshot restore, pretuning) clears it first
+// and sets it when serving can begin.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// BeginDrain marks the server draining: /readyz flips to 503 so load
+// balancers stop routing here, while in-flight and straggler requests
+// still complete. Draining is one-way.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) && s.logging {
+		s.logger.Info("draining", "uptime", time.Since(s.start).String())
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Sharded returns the server's shard set (for snapshot persistence and
 // introspection).
@@ -207,15 +281,191 @@ func (s *Server) WriteSnapshotsWith(open func(i, n int) (io.WriteCloser, error),
 	return nil
 }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes. Every route runs under the
+// instrument wrapper (request counters, latency histograms, access log);
+// the work endpoints (topk, above, update) additionally carry a request
+// trace whose id is returned in the X-Lemp-Trace header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	mux.HandleFunc("POST /v1/above", s.handleAbove)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/topk", s.instrument("topk", true, s.handleTopK))
+	mux.HandleFunc("POST /v1/above", s.instrument("above", true, s.handleAbove))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", true, s.handleUpdate))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
+	mux.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", false, s.handleTraces))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// reqInfo is the per-request scratch the handlers fill for the instrument
+// wrapper: query rows served, cache hits, and the batch's core stats, so
+// the access and slow-query logs can report work, not just latency.
+type reqInfo struct {
+	rows      int
+	cacheHits int
+	stats     lemp.Stats
+}
+
+type reqInfoKey struct{}
+
+// requestInfo extracts the wrapper's reqInfo, or nil when the handler was
+// invoked outside instrument (direct tests).
+func requestInfo(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// statusWriter captures the response status and byte count for metrics
+// and logging. An unset status means no response was written — a request
+// canceled by its client — reported as 499 (the de-facto "client closed
+// request" code).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// statusClientClosed is reported when a handler finished without writing a
+// response — the client disconnected and there was nobody to answer.
+const statusClientClosed = 499
+
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return statusClientClosed
+	}
+	return w.status
+}
+
+// instrument wraps a handler with the observability envelope: request
+// counter and latency histogram always; for traced endpoints also the
+// in-flight gauge, a request trace (id in X-Lemp-Trace, tail-sampled into
+// the /debug/traces ring at completion) and the slow-query log.
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var (
+			tr   *obs.Trace
+			root obs.SpanRef
+			info *reqInfo
+		)
+		if traced {
+			s.metrics.inFlight.Inc()
+			tr = s.tracer.StartTrace()
+			root = tr.Start(endpoint, obs.NoSpan)
+			info = &reqInfo{}
+			ctx := obs.ContextWithSpan(r.Context(), tr, root)
+			ctx = context.WithValue(ctx, reqInfoKey{}, info)
+			r = r.WithContext(ctx)
+			if id := tr.IDString(); id != "" {
+				sw.Header().Set("X-Lemp-Trace", id)
+			}
+		}
+		h(sw, r)
+		dur := time.Since(start)
+		status := sw.Status()
+		s.metrics.observeRequest(endpoint, status, dur)
+		var traceID string
+		if traced {
+			s.metrics.inFlight.Dec()
+			tr.End(root)
+			traceID = tr.IDString()
+			slow := s.cfg.SlowQueryThreshold > 0 && dur >= s.cfg.SlowQueryThreshold
+			if slow {
+				s.metrics.slowQueries.Inc()
+				s.logSlowQuery(r, endpoint, status, dur, tr, info)
+			}
+			s.tracer.Finish(tr, obs.TraceMeta{Kind: endpoint, Rows: info.rows, Slow: slow})
+		}
+		if s.logging {
+			s.logger.LogAttrs(r.Context(), slog.LevelDebug, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", dur),
+				slog.String("trace", traceID),
+			)
+		}
+	}
+}
+
+// logSlowQuery emits the structured slow-query record: end-to-end and
+// per-phase durations (summed from the trace's span tree), per-shard scan
+// times, and the work counters the handler recorded. It runs while the
+// trace is still owned by this request, before Finish returns it to the
+// pool.
+func (s *Server) logSlowQuery(r *http.Request, endpoint string, status int, dur time.Duration, tr *obs.Trace, info *reqInfo) {
+	if !s.logging {
+		return
+	}
+	durNS := dur.Nanoseconds()
+	var waitNS, tuneNS, scanNS, mergeNS int64
+	type shardTime struct {
+		Shard int   `json:"shard"`
+		NS    int64 `json:"ns"`
+	}
+	var shards []shardTime
+	for _, sp := range tr.Spans() {
+		end := sp.EndNS
+		if end == 0 {
+			end = durNS // unclosed span: clamp to request end
+		}
+		d := end - sp.StartNS
+		switch sp.Name {
+		case "batch.wait":
+			waitNS += d
+		case "tune":
+			tuneNS += d
+		case "scan":
+			scanNS += d
+		case "merge":
+			mergeNS += d
+		case "shard":
+			shards = append(shards, shardTime{Shard: int(sp.Shard), NS: d})
+		}
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+		slog.String("trace", tr.IDString()),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Duration("duration", dur),
+		slog.Int("rows", info.rows),
+		slog.Int("cache_hits", info.cacheHits),
+		slog.Int64("batch_wait_ns", waitNS),
+		slog.Int64("tune_ns", tuneNS),
+		slog.Int64("scan_ns", scanNS),
+		slog.Int64("merge_ns", mergeNS),
+		slog.Any("shards", shards),
+		slog.Int64("candidates", info.stats.Candidates),
+		slog.Int64("results", info.stats.Results),
+		slog.Int("tunings", info.stats.Tunings),
+		slog.Int("tune_cache_hits", info.stats.TuneCacheHits),
+	)
 }
 
 // topKRequest is the body of POST /v1/topk.
@@ -326,6 +576,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key batchKey, que
 		}
 	}
 	s.requests.Add(1)
+	info := requestInfo(ctx)
+	if info != nil {
+		info.rows = len(queries)
+	}
 
 	// Split rows into cache hits and misses; misses form one submission.
 	rows := make([][]lemp.Entry, len(queries))
@@ -348,15 +602,22 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key batchKey, que
 		missData = append(missData, q...)
 		missIdx = append(missIdx, i)
 	}
+	if info != nil {
+		info.cacheHits = len(queries) - len(missIdx)
+	}
 	if len(missIdx) > 0 {
 		var (
 			fresh [][]lemp.Entry
+			st    lemp.Stats
 			err   error
 		)
 		if key.topk {
-			fresh, err = s.batcher.TopKAt(ctx, view, missData, len(missIdx), key.k)
+			fresh, st, err = s.batcher.TopKAt(ctx, view, missData, len(missIdx), key.k)
 		} else {
-			fresh, err = s.batcher.AboveThetaAt(ctx, view, missData, len(missIdx), key.theta)
+			fresh, st, err = s.batcher.AboveThetaAt(ctx, view, missData, len(missIdx), key.theta)
+		}
+		if info != nil {
+			info.stats = st
 		}
 		switch {
 		case err == nil:
@@ -411,6 +672,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// readyzResponse is the body of GET /readyz.
+type readyzResponse struct {
+	Status string `json:"status"`
+	Probes int    `json:"probes"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// handleReadyz is the readiness probe: 200 only while the server is both
+// ready (shards built or restored, warm-up done) and not draining.
+// /healthz answers liveness — "the process serves HTTP" — and stays 200
+// through both warm-up and drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	view := s.sharded.CurrentView()
+	resp := readyzResponse{Status: "ready", Probes: view.N(), Epoch: view.Epoch()}
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+	case !s.ready.Load():
+		resp.Status = "starting"
+	default:
+		writeJSON(w, resp)
+		return
+	}
+	buf, _ := json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write(append(buf, '\n'))
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// tracesResponse is the body of GET /debug/traces: retained request
+// traces, newest first.
+type tracesResponse struct {
+	Traces []*obs.TraceSnapshot `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, tracesResponse{Traces: s.tracer.Snapshots()})
+}
+
 // statsResponse is the body of GET /stats: server counters plus the
 // cumulative core retrieval stats across all shards and batches.
 type statsResponse struct {
@@ -433,22 +739,32 @@ type cacheInfo struct {
 	Entries int    `json:"entries"`
 }
 
-// coreStats mirrors lemp.Stats with JSON names and float seconds.
+// coreStats mirrors lemp.Stats with JSON names. Durations come in pairs:
+// a machine-stable integer nanosecond field (_ns suffix) and a
+// human-readable rendering of the same value. Their semantics follow the
+// cumulative Stats aggregation (see lemp.Stats): prep is the one-time
+// index preprocessing cost, reported identically by every call, while
+// tune and retrieval SUM worker time across shards and calls — four
+// shards scanning concurrently for 1ms add 4ms of retrieval time — so
+// neither is wall clock.
 type coreStats struct {
-	Queries          int     `json:"queries"`
-	Buckets          int     `json:"buckets"`
-	IndexedBuckets   int     `json:"indexed_buckets"`
-	Candidates       int64   `json:"candidates"`
-	Results          int64   `json:"results"`
-	BlockVerified    int64   `json:"block_verified"`
-	ScalarVerified   int64   `json:"scalar_verified"`
-	ProcessedPairs   int64   `json:"processed_pairs"`
-	PrunedPairs      int64   `json:"pruned_pairs"`
-	Tunings          int     `json:"tunings"`
-	TuneCacheHits    int     `json:"tune_cache_hits"`
-	PrepSeconds      float64 `json:"prep_seconds"`
-	TuneSeconds      float64 `json:"tune_seconds"`
-	RetrievalSeconds float64 `json:"retrieval_seconds"`
+	Queries        int    `json:"queries"`
+	Buckets        int    `json:"buckets"`
+	IndexedBuckets int    `json:"indexed_buckets"`
+	Candidates     int64  `json:"candidates"`
+	Results        int64  `json:"results"`
+	BlockVerified  int64  `json:"block_verified"`
+	ScalarVerified int64  `json:"scalar_verified"`
+	ProcessedPairs int64  `json:"processed_pairs"`
+	PrunedPairs    int64  `json:"pruned_pairs"`
+	Tunings        int    `json:"tunings"`
+	TuneCacheHits  int    `json:"tune_cache_hits"`
+	PrepNS         int64  `json:"prep_ns"`
+	Prep           string `json:"prep"`
+	TuneNS         int64  `json:"tune_ns"`
+	Tune           string `json:"tune"`
+	RetrievalNS    int64  `json:"retrieval_ns"`
+	Retrieval      string `json:"retrieval"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -471,20 +787,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AvgBatchRows:  avg,
 		Cache:         cacheInfo{Hits: s.cache.Hits(), Misses: s.cache.Misses(), Rows: s.cache.Len(), Entries: s.cache.Entries()},
 		Core: coreStats{
-			Queries:          st.Queries,
-			Buckets:          st.Buckets,
-			IndexedBuckets:   st.IndexedBuckets,
-			Candidates:       st.Candidates,
-			Results:          st.Results,
-			BlockVerified:    st.BlockVerified,
-			ScalarVerified:   st.ScalarVerified,
-			ProcessedPairs:   st.ProcessedPairs,
-			PrunedPairs:      st.PrunedPairs,
-			Tunings:          st.Tunings,
-			TuneCacheHits:    st.TuneCacheHits,
-			PrepSeconds:      st.PrepTime.Seconds(),
-			TuneSeconds:      st.TuneTime.Seconds(),
-			RetrievalSeconds: st.RetrievalTime.Seconds(),
+			Queries:        st.Queries,
+			Buckets:        st.Buckets,
+			IndexedBuckets: st.IndexedBuckets,
+			Candidates:     st.Candidates,
+			Results:        st.Results,
+			BlockVerified:  st.BlockVerified,
+			ScalarVerified: st.ScalarVerified,
+			ProcessedPairs: st.ProcessedPairs,
+			PrunedPairs:    st.PrunedPairs,
+			Tunings:        st.Tunings,
+			TuneCacheHits:  st.TuneCacheHits,
+			PrepNS:         st.PrepTime.Nanoseconds(),
+			Prep:           st.PrepTime.String(),
+			TuneNS:         st.TuneTime.Nanoseconds(),
+			Tune:           st.TuneTime.String(),
+			RetrievalNS:    st.RetrievalTime.Nanoseconds(),
+			Retrieval:      st.RetrievalTime.String(),
 		},
 	})
 }

@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lemp"
+	"lemp/internal/obs"
 )
 
 // Sharded partitions a probe matrix into S contiguous shards, each backed
@@ -58,6 +61,20 @@ type Sharded struct {
 
 	statsMu sync.Mutex
 	cum     lemp.Stats // cumulative stats across all retrieval calls
+
+	// compactions counts shard re-bucketizations triggered by update
+	// delta mass (exported as lemp_compactions_total).
+	compactions atomic.Uint64
+
+	// Observability hooks, wired once by the server before serving and
+	// nil for library use (all three are nil-safe at the call sites).
+	// scanHist[i] observes shard i's per-call retrieval time, mergeHist
+	// the cross-shard merge time, and onCallStats receives each call's
+	// accumulated core stats (it must be cheap and allocation-free: it
+	// runs on the retrieval path).
+	scanHist    []*obs.Histogram
+	mergeHist   *obs.Histogram
+	onCallStats func(lemp.Stats)
 
 	// Test instrumentation: when set, testShardStart is called as each
 	// shard retrieval begins (with the retrieval context, so a test can
@@ -210,6 +227,10 @@ func (s *Sharded) Epoch() uint64 {
 	return s.epoch
 }
 
+// Compactions returns the number of shard re-bucketizations triggered by
+// update delta mass since construction.
+func (s *Sharded) Compactions() uint64 { return s.compactions.Load() }
+
 // CumulativeStats returns the accumulated core stats of every retrieval
 // call (all shards, all batches) since construction.
 func (s *Sharded) CumulativeStats() lemp.Stats {
@@ -272,27 +293,46 @@ func addShardStats(dst *lemp.Stats, st lemp.Stats) {
 // mutex serializes retrieval across all index versions of a shard. The
 // context is passed down into every shard retrieval, so canceling it —
 // client disconnect, request deadline — aborts all shard scans mid-bucket.
-func (v *View) fanOut(ctx context.Context, fn func(i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
+//
+// When ctx carries a trace (obs.ContextWithSpan), each shard goroutine
+// opens its own shard-tagged span and passes it down, so the core drivers
+// hang their tune/scan phase spans under the right shard. Per-shard wall
+// time — including the wait for the shard mutex, which is exactly the
+// serialization skew worth seeing — feeds scanHist[i] when the server has
+// wired it.
+func (v *View) fanOut(ctx context.Context, fn func(ctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		call  lemp.Stats
 		first error
 	)
+	tr, parent := obs.SpanFrom(ctx)
 	wg.Add(len(v.ixs))
 	for i, ix := range v.ixs {
 		go func(i int, ix *lemp.Index) {
 			defer wg.Done()
+			cctx := ctx
+			ref := obs.NoSpan
+			if tr != nil {
+				ref = tr.StartShard("shard", parent, i)
+				cctx = obs.ContextWithSpan(ctx, tr, ref)
+			}
+			start := time.Now()
 			sh := v.s.shards[i]
 			sh.mu.Lock()
 			if v.s.testShardStart != nil {
-				v.s.testShardStart(ctx, i)
+				v.s.testShardStart(cctx, i)
 			}
-			st, err := fn(i, ix)
+			st, err := fn(cctx, i, ix)
 			if v.s.testShardDone != nil {
 				v.s.testShardDone(i, err)
 			}
 			sh.mu.Unlock()
+			tr.End(ref)
+			if v.s.scanHist != nil {
+				v.s.scanHist[i].ObserveDuration(time.Since(start))
+			}
 			mu.Lock()
 			addShardStats(&call, st)
 			if err != nil && first == nil {
@@ -305,6 +345,9 @@ func (v *View) fanOut(ctx context.Context, fn func(i int, ix *lemp.Index) (lemp.
 	v.s.statsMu.Lock()
 	v.s.cum.Add(call)
 	v.s.statsMu.Unlock()
+	if v.s.onCallStats != nil {
+		v.s.onCallStats(call)
+	}
 	return call, first
 }
 
@@ -319,8 +362,8 @@ func (v *View) TopKCtx(ctx context.Context, q *lemp.Matrix, k int) (lemp.TopKRow
 		return nil, lemp.Stats{}, err
 	}
 	parts := make([]lemp.TopKRows, len(v.ixs))
-	st, err := v.fanOut(ctx, func(i int, ix *lemp.Index) (lemp.Stats, error) {
-		res, err := ix.RetrieveSpec(ctx, q, spec)
+	st, err := v.fanOut(ctx, func(sctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error) {
+		res, err := ix.RetrieveSpec(sctx, q, spec)
 		if err != nil {
 			return lemp.Stats{}, err
 		}
@@ -330,7 +373,15 @@ func (v *View) TopKCtx(ctx context.Context, q *lemp.Matrix, k int) (lemp.TopKRow
 	if err != nil {
 		return nil, st, err
 	}
-	return lemp.MergeTopK(k, parts...), st, nil
+	tr, parent := obs.SpanFrom(ctx)
+	ref := tr.Start("merge", parent)
+	start := time.Now()
+	out := lemp.MergeTopK(k, parts...)
+	tr.End(ref)
+	if v.s.mergeHist != nil {
+		v.s.mergeHist.ObserveDuration(time.Since(start))
+	}
+	return out, st, nil
 }
 
 // TopK is TopKCtx with a background context.
@@ -350,8 +401,8 @@ func (v *View) AboveThetaCtx(ctx context.Context, q *lemp.Matrix, theta float64)
 	}
 	rows := make([][]lemp.Entry, q.N())
 	var mu sync.Mutex
-	st, err := v.fanOut(ctx, func(_ int, ix *lemp.Index) (lemp.Stats, error) {
-		res, err := ix.RetrieveSpec(ctx, q, spec)
+	st, err := v.fanOut(ctx, func(sctx context.Context, _ int, ix *lemp.Index) (lemp.Stats, error) {
+		res, err := ix.RetrieveSpec(sctx, q, spec)
 		if err != nil {
 			return lemp.Stats{}, err
 		}
@@ -365,8 +416,15 @@ func (v *View) AboveThetaCtx(ctx context.Context, q *lemp.Matrix, theta float64)
 	if err != nil {
 		return nil, st, err
 	}
+	tr, parent := obs.SpanFrom(ctx)
+	ref := tr.Start("merge", parent)
+	start := time.Now()
 	for _, row := range rows {
 		lemp.SortEntries(row)
+	}
+	tr.End(ref)
+	if v.s.mergeHist != nil {
+		v.s.mergeHist.ObserveDuration(time.Since(start))
 	}
 	return rows, st, nil
 }
@@ -492,8 +550,8 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 		if err != nil {
 			return UpdateResult{}, err
 		}
-		if compactThreshold >= 0 {
-			nix.MaybeCompact(compactThreshold)
+		if compactThreshold >= 0 && nix.MaybeCompact(compactThreshold) {
+			s.compactions.Add(1)
 		}
 		newIxs[i] = nix
 		changed = true

@@ -112,6 +112,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		ups[i] = lemp.ProbeUpdate{Op: kind, ID: id, Vec: op.Vector}
 	}
+	if info := requestInfo(r.Context()); info != nil {
+		info.rows = len(ups)
+	}
 	res, err := s.sharded.Update(ups, s.cfg.CompactFraction)
 	if err != nil {
 		// Every Update failure is a rejected batch (bad id, bad vector):
