@@ -13,8 +13,20 @@
 // Snapshots: -save-snapshot writes one LEMPIDX1 file per shard (path for a
 // single shard, path.0 … path.N-1 otherwise) after pretuning each shard, so
 // a later -snapshot startup skips bucketization and tuning entirely.
-// -snapshot restores that layout; pass -shards to re-shard a single-file
-// snapshot from its embedded probe matrix (which re-pays index build).
+// -snapshot restores that layout, including the placement strategy the
+// saving server used. Pass -shards to restore under a different shard
+// count, -placement to restore under a different strategy, or
+// -rebalance-on-load to force a fresh partition even when both match; all
+// three re-place the restored probe set through the active placement
+// (which re-pays index build for the moved shards, with ids preserved).
+//
+// Placement (-placement) decides which probes share a shard: "range"
+// splits the catalog into contiguous equal-count runs, "cost" splits it
+// into contiguous runs of equal estimated scan cost (balancing per-shard
+// scan time under length-skewed catalogs), and "cluster" groups
+// directionally similar probes via spherical k-means and prunes whole
+// shards per Above-θ query with a conservative centroid/radius cone bound
+// (results stay exact; see lemp_shards_pruned_total).
 //
 // Endpoints:
 //
@@ -99,6 +111,8 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "restore shard indexes from LEMPIDX1 snapshots (path, or path.0..path.N-1 as written by -save-snapshot) instead of building them")
 	saveSnapshot := flag.String("save-snapshot", "", "after building, pretune and write one snapshot per shard (path for 1 shard, else path.0..path.N-1), then serve")
 	shards := flag.Int("shards", 4, "number of index shards")
+	placementName := flag.String("placement", "range", "shard placement strategy: range (contiguous equal-count), cost (contiguous cost-balanced) or cluster (spherical k-means with centroid cone shard pruning)")
+	rebalanceOnLoad := flag.Bool("rebalance-on-load", false, "with -snapshot, re-partition the restored probe set under the active placement even when shard count and strategy already match")
 	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
 	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
 	parallel := flag.Int("parallel", 0, "retrieval goroutines per shard (0 = NumCPU/shards, so one batch uses all cores)")
@@ -134,6 +148,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if _, err := server.ParsePlacement(*placementName); err != nil {
+		fail("%v", err)
+	}
 	if *cacheEntries == 0 {
 		// On the CLI, 0 naturally reads as "no cache"; the Config zero
 		// value means "default" per the library convention.
@@ -146,6 +163,8 @@ func main() {
 	}
 	cfg := server.Config{
 		Shards:             *shards,
+		Placement:          *placementName,
+		RebalanceOnLoad:    *rebalanceOnLoad,
 		Options:            lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
 		BatchWindow:        *batchWindow,
 		BatchMax:           *batchMax,
@@ -186,7 +205,16 @@ func main() {
 
 	var srv *server.Server
 	if *snapshotPath != "" {
-		srv = loadSnapshots(*snapshotPath, *shards, shardsFlagSet(), cfg)
+		// A restore keeps the snapshot's own shard count and placement
+		// unless the flags were given explicitly: the defaults describe a
+		// fresh build, not an instruction to re-partition a stored one.
+		if !flagSet("shards") {
+			cfg.Shards = 0
+		}
+		if !flagSet("placement") {
+			cfg.Placement = ""
+		}
+		srv = loadSnapshots(*snapshotPath, cfg)
 	} else {
 		var probe *lemp.Matrix
 		if *pPath != "" {
@@ -296,13 +324,13 @@ func bootHandler() http.Handler {
 	return mux
 }
 
-// shardsFlagSet reports whether -shards was given explicitly (as opposed to
+// flagSet reports whether a flag was given explicitly (as opposed to
 // resting at its default), which decides whether a snapshot restore honors
-// the snapshot's own shard count or re-shards.
-func shardsFlagSet() bool {
+// the snapshot's own shard count and placement or re-partitions.
+func flagSet(name string) bool {
 	set := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
+		if f.Name == name {
 			set = true
 		}
 	})
@@ -336,37 +364,14 @@ func snapshotFiles(path string) []string {
 	return files
 }
 
-// loadSnapshots restores a server from snapshot files. When -shards was
-// given and disagrees with the snapshot count, a single snapshot is
-// re-sharded from its embedded probe matrix — which re-pays index build and
-// is logged as such.
-func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *server.Server {
+// loadSnapshots restores a server from snapshot files. A -shards or
+// -placement disagreeing with the stored layout (or -rebalance-on-load) is
+// handled inside NewFromSnapshot, which re-partitions the restored probe
+// set through the placement interface — ids preserved, index build re-paid
+// only then.
+func loadSnapshots(path string, cfg server.Config) *server.Server {
 	files := snapshotFiles(path)
 	start := time.Now()
-	if shardsSet && shards != len(files) {
-		if len(files) != 1 {
-			fail("-shards %d conflicts with %d shard snapshots; re-sharding needs a single snapshot", shards, len(files))
-		}
-		f, err := os.Open(files[0])
-		if err != nil {
-			fail("%v", err)
-		}
-		ix, err := lemp.LoadIndex(f, lemp.LoadOptions{})
-		f.Close()
-		if err != nil {
-			fail("loading %s: %v", files[0], err)
-		}
-		logger.Info("re-sharding snapshot: rebuilding indexes from the embedded probe matrix",
-			"snapshot", files[0], "probes", ix.N(), "shards", shards)
-		// Preserve the snapshot's external probe ids through the rebuild:
-		// a mutated-then-saved catalog has non-contiguous ids, and
-		// renumbering them would silently re-address every probe.
-		srv, err := server.NewWithIDs(ix.Probe(), ix.ProbeIDs(), cfg)
-		if err != nil {
-			fail("%v", err)
-		}
-		return srv
-	}
 	readers := make([]io.Reader, len(files))
 	handles := make([]*os.File, len(files))
 	for i, name := range files {
@@ -384,8 +389,16 @@ func loadSnapshots(path string, shards int, shardsSet bool, cfg server.Config) *
 	if err != nil {
 		fail("restoring snapshots: %v", err)
 	}
-	logger.Info("restored shards from snapshots (bucketization and tuning skipped)",
-		"shards", len(files), "path", path, "elapsed", time.Since(start).Round(time.Millisecond).String())
+	msg := "restored shards from snapshots (bucketization and tuning skipped)"
+	if srv.Sharded().NumShards() != len(files) || cfg.RebalanceOnLoad {
+		msg = "restored and re-partitioned shards from snapshots"
+	}
+	logger.Info(msg,
+		"snapshots", len(files),
+		"shards", srv.Sharded().NumShards(),
+		"placement", string(srv.Sharded().Placement()),
+		"path", path,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
 	return srv
 }
 

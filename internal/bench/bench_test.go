@@ -23,6 +23,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
 		"caching effects", "ablation",
 		"verification kernels",
+		"Placement", "cluster",
 		"LEMP-LI", "Naive",
 	} {
 		if !strings.Contains(text, want) {
@@ -52,6 +53,37 @@ func TestDatasetCachedAcrossExperiments(t *testing.T) {
 	}
 	if len(a.thetas) == 0 {
 		t.Error("no calibrated thresholds")
+	}
+}
+
+// TestPlacementPruneGuard pins the headline claim of the placement
+// experiment: on the skewed smoke workload's high-θ queries, cluster
+// placement must prune at least 30% of shard scans (while cost placement
+// must beat range placement's cost skew). The workload is seeded, so this
+// is a regression guard, not a flaky performance assertion.
+func TestPlacementPruneGuard(t *testing.T) {
+	p, q, theta := placementWorkload(0.1)
+	cluster, err := measurePlacement("cluster", p, q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.prunedRate < 0.30 {
+		t.Errorf("cluster placement pruned %.1f%% of shard scans, want >= 30%%", 100*cluster.prunedRate)
+	}
+	rng, err := measurePlacement("range", p, q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := measurePlacement("cost", p, q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.skew >= rng.skew {
+		t.Errorf("cost placement skew %.2f not below range skew %.2f", cost.skew, rng.skew)
+	}
+	if cluster.results != rng.results || cost.results != rng.results {
+		t.Errorf("result counts differ across placements: range %d cost %d cluster %d",
+			rng.results, cost.results, cluster.results)
 	}
 }
 

@@ -116,12 +116,42 @@ func (b *bucket) lengthPrefix(minLen float64) int {
 	return sort.Search(b.size(), func(i int) bool { return b.lens[i] < minLen })
 }
 
+// bucketSpans computes the bucket boundaries of §3.2 over lengths already
+// sorted in decreasing order: span [start, end) becomes one bucket. A new
+// bucket starts when the length drops below shrink·l_b or the bucket would
+// exceed maxSize vectors; every bucket holds at least minSize vectors and a
+// too-short tail is absorbed into the last bucket. maxSize ≤ 0 means
+// unlimited. Shared by bucketize and ScanCostWeights so the cost model sees
+// exactly the bucketization the index would build.
+func bucketSpans(sortedLens []float64, shrink float64, minSize, maxSize int) [][2]int {
+	n := len(sortedLens)
+	var spans [][2]int
+	for start := 0; start < n; {
+		lb := sortedLens[start]
+		end := start + 1
+		for end < n {
+			size := end - start
+			if maxSize > 0 && size >= maxSize {
+				break
+			}
+			if size >= minSize && sortedLens[end] < shrink*lb {
+				break
+			}
+			end++
+		}
+		if n-end < minSize && (maxSize <= 0 || end-start+(n-end) <= 2*maxSize) {
+			end = n // absorb a short tail
+		}
+		spans = append(spans, [2]int{start, end})
+		start = end
+	}
+	return spans
+}
+
 // bucketize sorts the probe vectors by decreasing length and groups them
-// into buckets per §3.2: a new bucket starts when the length drops below
-// shrink·l_b or the bucket would exceed maxSize vectors; every bucket holds
-// at least minSize vectors and a too-short tail is absorbed into the last
-// bucket. maxSize ≤ 0 means unlimited. extIDs names column col extIDs[col]
-// in the bucket id arrays; nil uses the column numbers themselves.
+// into buckets per §3.2 (boundaries from bucketSpans). extIDs names column
+// col extIDs[col] in the bucket id arrays; nil uses the column numbers
+// themselves.
 func bucketize(p *matrix.Matrix, extIDs []int32, shrink float64, minSize, maxSize int) []*bucket {
 	n := p.N()
 	if n == 0 {
@@ -134,24 +164,15 @@ func bucketize(p *matrix.Matrix, extIDs []int32, shrink float64, minSize, maxSiz
 	}
 	lens := p.Lengths()
 	sort.SliceStable(order, func(a, b int) bool { return lens[order[a]] > lens[order[b]] })
+	sorted := make([]float64, n)
+	for i, id := range order {
+		sorted[i] = lens[id]
+	}
 
 	var buckets []*bucket
-	for start := 0; start < n; {
-		lb := lens[order[start]]
-		end := start + 1
-		for end < n {
-			size := end - start
-			if maxSize > 0 && size >= maxSize {
-				break
-			}
-			if size >= minSize && lens[order[end]] < shrink*lb {
-				break
-			}
-			end++
-		}
-		if n-end < minSize && (maxSize <= 0 || end-start+(n-end) <= 2*maxSize) {
-			end = n // absorb a short tail
-		}
+	for _, sp := range bucketSpans(sorted, shrink, minSize, maxSize) {
+		start, end := sp[0], sp[1]
+		lb := sorted[start]
 		b := &bucket{
 			r:    r,
 			ids:  make([]int32, end-start),
@@ -171,7 +192,6 @@ func bucketize(p *matrix.Matrix, extIDs []int32, shrink float64, minSize, maxSiz
 			vecmath.Normalize(b.dir(lid), p.Vec(int(id)))
 		}
 		buckets = append(buckets, b)
-		start = end
 	}
 	return buckets
 }

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"lemp"
+	"lemp/internal/kmeans"
+	"lemp/internal/vecmath"
+)
+
+// Shard placement: how a probe catalog is partitioned across shards, and —
+// for cluster placement — how whole shards are pruned per query. The
+// paper's Cauchy–Schwarz bucket bound (§3.2) lifts one level up: a shard
+// whose live probes fit in a direction cone of known angular radius and
+// maximum length cannot produce an inner product above
+// ‖q‖·MaxLen·cos(max(0, ∠(q, centroid) − radius)), so an Above-θ query
+// skips the shard entirely when that bound stays below θ. The bound is
+// conservative (padded radius, floored at zero, slack on the per-query
+// arithmetic), so exact-mode results stay byte-identical: a pruned shard
+// would have contributed nothing to the merge.
+
+// PlacementKind names a shard-placement strategy.
+type PlacementKind string
+
+const (
+	// PlaceRange is the equal-count contiguous split: shard i holds probe
+	// columns [i·n/S, (i+1)·n/S). The default; keeps the range router at
+	// one run per shard.
+	PlaceRange PlacementKind = "range"
+	// PlaceCost partitions contiguously by estimated scan cost — each
+	// probe weighted by the l_b of the bucket it lands in — so skewed
+	// length distributions no longer leave shards with unequal work. Still
+	// contiguous, so the range router stays compact.
+	PlaceCost PlacementKind = "cost"
+	// PlaceCluster groups directionally similar probes per shard
+	// (spherical k-means, seeded by Options.Seed) and stores each shard's
+	// direction cone, enabling per-query whole-shard pruning on Above-θ
+	// retrievals.
+	PlaceCluster PlacementKind = "cluster"
+)
+
+// ParsePlacement resolves a placement-strategy name (e.g. a -placement
+// flag value).
+func ParsePlacement(s string) (PlacementKind, error) {
+	switch k := PlacementKind(s); k {
+	case PlaceRange, PlaceCost, PlaceCluster:
+		return k, nil
+	}
+	return "", fmt.Errorf("server: unknown placement %q (want range, cost or cluster)", s)
+}
+
+// clusterIters bounds the spherical k-means refinement when building a
+// cluster placement; the run is deterministic in Options.Seed.
+const clusterIters = 25
+
+// shardPart is one shard's slice of a partitioned catalog.
+type shardPart struct {
+	probe *lemp.Matrix
+	ids   []int32
+}
+
+// partitionProbes splits the catalog into nShards parts under the given
+// placement strategy. ids[i] names probe column i (nil = identity).
+// Range and cost parts alias the probe matrix (contiguous slices); cluster
+// parts are gathered copies. Cluster parts can be empty — a cluster the
+// k-means run left without members — which is legal shard content.
+func partitionProbes(kind PlacementKind, probe *lemp.Matrix, ids []int32, nShards int, opts lemp.Options) ([]shardPart, error) {
+	n := probe.N()
+	colID := func(col int) int32 {
+		if ids != nil {
+			return ids[col]
+		}
+		return int32(col)
+	}
+	contiguous := func(bounds []int) []shardPart {
+		parts := make([]shardPart, len(bounds)-1)
+		for i := range parts {
+			lo, hi := bounds[i], bounds[i+1]
+			part := shardPart{probe: probe.Slice(lo, hi), ids: make([]int32, hi-lo)}
+			for j := range part.ids {
+				part.ids[j] = colID(lo + j)
+			}
+			parts[i] = part
+		}
+		return parts
+	}
+	equalCount := func() []shardPart {
+		bounds := make([]int, nShards+1)
+		for i := range bounds {
+			bounds[i] = i * n / nShards
+		}
+		return contiguous(bounds)
+	}
+	switch kind {
+	case PlaceRange:
+		return equalCount(), nil
+	case PlaceCost:
+		weights := lemp.ScanCostWeights(probe, opts)
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		if total <= 0 {
+			// Degenerate catalog (all-zero lengths): cost carries no
+			// signal, fall back to equal count.
+			return equalCount(), nil
+		}
+		bounds := make([]int, nShards+1)
+		bounds[nShards] = n
+		cum := 0.0
+		hi := 0
+		for i := 0; i < nShards-1; i++ {
+			// Cut where the running mass reaches this shard's share, but
+			// give every shard at least one probe and leave one for each
+			// shard after it.
+			target := total * float64(i+1) / float64(nShards)
+			if hi < bounds[i]+1 {
+				hi = bounds[i] + 1
+				cum += weights[hi-1]
+			}
+			for hi < n-(nShards-1-i) && cum < target {
+				cum += weights[hi]
+				hi++
+			}
+			bounds[i+1] = hi
+		}
+		return contiguous(bounds), nil
+	case PlaceCluster:
+		res := kmeans.Spherical(probe, nShards, clusterIters, opts.Seed)
+		counts := make([]int, nShards)
+		for _, c := range res.Assign {
+			counts[c]++
+		}
+		parts := make([]shardPart, nShards)
+		r := probe.R()
+		for i := range parts {
+			parts[i] = shardPart{probe: lemp.NewMatrix(r, counts[i]), ids: make([]int32, 0, counts[i])}
+		}
+		fill := make([]int, nShards)
+		for col := 0; col < n; col++ {
+			c := res.Assign[col]
+			copy(parts[c].probe.Vec(fill[c]), probe.Vec(col))
+			fill[c]++
+			parts[c].ids = append(parts[c].ids, colID(col))
+		}
+		return parts, nil
+	}
+	return nil, fmt.Errorf("server: unknown placement %q", kind)
+}
+
+// coneSlack is the relative slack added to the per-query cone bound before
+// the prune comparison, absorbing the rounding of the dot product, the
+// query-length division and the cos(a−b) expansion. It only ever raises
+// the bound, keeping pruning conservative.
+const coneSlack = 1e-9
+
+// coneBound returns a conservative upper bound on qᵀp over every live
+// probe p of a shard with the given cone; q has length qlen. A nil cone
+// means "no placement information" and never prunes. The bound is floored
+// at 0 — a zero-length probe's inner product — and a NaN bound (non-finite
+// query) compares false against θ under the !(bound < θ) keep rule, so
+// such shards are always scanned.
+func coneBound(c *lemp.ShardCone, q []float64, qlen float64) float64 {
+	if c == nil {
+		return math.Inf(1)
+	}
+	if c.MaxLen == 0 || qlen == 0 {
+		return 0
+	}
+	if c.Centroid == nil {
+		// No usable axis: only the length bound applies.
+		return qlen * c.MaxLen
+	}
+	d := vecmath.Dot(q, c.Centroid) / qlen
+	if d > 1 {
+		d = 1
+	} else if d < -1 {
+		d = -1
+	}
+	cosR := c.CosRadius
+	// cos(max(0, a−b)) with cos a = d, cos b = cosR, both angles in [0, π]:
+	// 1 when the query lies inside the cone (a ≤ b), else the expansion
+	// cos a·cos b + sin a·sin b.
+	cang := 1.0
+	if d < cosR {
+		cang = d*cosR + math.Sqrt((1-d*d)*(1-cosR*cosR))
+	}
+	bound := qlen * c.MaxLen * (cang + coneSlack)
+	if bound < 0 {
+		return 0
+	}
+	return bound
+}
+
+// widenCone returns a copy of c grown to also enclose vec (an added or
+// rewritten probe): MaxLen rises to the vector's length and the radius
+// opens to cover its direction. Removals never shrink the cone — stale
+// width only costs pruning opportunity, never correctness — so updates
+// stay cheap and a drift re-placement restores tightness. A nil cone stays
+// nil. The receiver is never mutated: views snapshot cone pointers.
+func widenCone(c *lemp.ShardCone, vec []float64) *lemp.ShardCone {
+	if c == nil {
+		return nil
+	}
+	nc := *c
+	if nc.Centroid == nil {
+		if l := vecmath.Norm(vec); l > nc.MaxLen {
+			nc.MaxLen = l
+		}
+		return &nc
+	}
+	dot, norm2 := vecmath.DotNorm2(nc.Centroid, vec)
+	l := math.Sqrt(norm2)
+	if l > nc.MaxLen {
+		nc.MaxLen = l
+	}
+	if l > 0 {
+		d := dot / l
+		if d > 1 {
+			d = 1
+		}
+		d -= 1e-12
+		if d < -1 {
+			d = -1
+		}
+		if d < nc.CosRadius {
+			nc.CosRadius = d
+		}
+	}
+	return &nc
+}

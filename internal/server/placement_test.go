@@ -1,0 +1,530 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lemp"
+	"lemp/internal/vecmath"
+)
+
+// clusteredProbe builds a catalog with a few directional clusters, varied
+// lengths, and a sprinkle of zero vectors — the regime cluster placement is
+// built for, plus its degenerate cases.
+func clusteredProbe(rng *rand.Rand, r, n int) *lemp.Matrix {
+	nCenters := 2 + rng.Intn(3)
+	centers := make([][]float64, nCenters)
+	for c := range centers {
+		v := make([]float64, r)
+		for f := range v {
+			v[f] = rng.NormFloat64()
+		}
+		vecmath.Normalize(v, v)
+		centers[c] = v
+	}
+	p := lemp.NewMatrix(r, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(12) == 0 {
+			continue // zero vector
+		}
+		v := p.Vec(i)
+		c := centers[rng.Intn(nCenters)]
+		for f := range v {
+			v[f] = c[f] + 0.25*rng.NormFloat64()
+		}
+		scale := 0.5 + 2*rng.Float64()
+		norm := vecmath.Norm(v)
+		if norm > 0 {
+			vecmath.Scale(v, v, scale/norm)
+		}
+	}
+	return p
+}
+
+// randomOps builds one mutation batch over the currently live ids: removes
+// and rewrites of random live probes plus AutoID adds (occasionally zero
+// vectors). live is updated to reflect the batch.
+func randomOps(rng *rand.Rand, r int, live *[]int32) []lemp.ProbeUpdate {
+	var ops []lemp.ProbeUpdate
+	nOps := 1 + rng.Intn(6)
+	for o := 0; o < nOps; o++ {
+		switch roll := rng.Intn(4); {
+		case roll == 0 && len(*live) > 4:
+			i := rng.Intn(len(*live))
+			ops = append(ops, lemp.ProbeUpdate{Op: lemp.OpRemove, ID: (*live)[i]})
+			*live = append((*live)[:i], (*live)[i+1:]...)
+		case roll == 1 && len(*live) > 0:
+			i := rng.Intn(len(*live))
+			ops = append(ops, lemp.ProbeUpdate{Op: lemp.OpUpdate, ID: (*live)[i], Vec: randVec(rng, r)})
+		default:
+			ops = append(ops, lemp.ProbeUpdate{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: randVec(rng, r)})
+		}
+	}
+	return ops
+}
+
+func randVec(rng *rand.Rand, r int) []float64 {
+	v := make([]float64, r)
+	if rng.Intn(9) == 0 {
+		return v // zero vector
+	}
+	for f := range v {
+		v[f] = rng.NormFloat64()
+	}
+	return v
+}
+
+// compareRows asserts two grouped Above-θ result sets are byte-identical.
+func compareRows(t *testing.T, ctx string, got, want [][]lemp.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d has %d entries, want %d\n got %+v\nwant %+v",
+				ctx, i, len(got[i]), len(want[i]), got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d entry %d: got %+v, want %+v", ctx, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// compareTopKValues asserts two top-k result sets rank the same values.
+// Probe identity is only required while values are strictly decreasing:
+// among tied values (notably 0, from zero probes or zero queries) the
+// winner of the k-th slot is an arbitrary choice the shard merge is free
+// to make differently from a single index.
+func compareTopKValues(t *testing.T, ctx string, got, want [][]lemp.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d has %d entries, want %d", ctx, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j].Value != want[i][j].Value {
+				t.Fatalf("%s: row %d rank %d: got value %v (probe %d), want %v (probe %d)",
+					ctx, i, j, got[i][j].Value, got[i][j].Probe, want[i][j].Value, want[i][j].Probe)
+			}
+			// Value 0 can also tie with candidates outside the returned
+			// set (every zero probe scores 0), so it never pins a probe.
+			tied := want[i][j].Value == 0 ||
+				(j > 0 && want[i][j-1].Value == want[i][j].Value) ||
+				(j+1 < len(want[i]) && want[i][j+1].Value == want[i][j].Value)
+			if !tied && got[i][j].Probe != want[i][j].Probe {
+				t.Fatalf("%s: row %d rank %d: got probe %d, want %d (value %v)",
+					ctx, i, j, got[i][j].Probe, want[i][j].Probe, want[i][j].Value)
+			}
+		}
+	}
+}
+
+// TestClusterPrunedDifferential is the placement differential harness:
+// across randomized mutation/query sequences and every bucket algorithm,
+// cluster-routed retrieval with cone pruning enabled must be byte-identical
+// to (a) the same shard set fanning out to all shards and (b) a single
+// unsharded reference index mirroring every mutation. Sequences include
+// zero probes, zero queries, empty results and post-update cone drift.
+func TestClusterPrunedDifferential(t *testing.T) {
+	algos := []lemp.Algorithm{
+		lemp.AlgorithmLI, lemp.AlgorithmL, lemp.AlgorithmC, lemp.AlgorithmI,
+		lemp.AlgorithmLC, lemp.AlgorithmTA, lemp.AlgorithmTree, lemp.AlgorithmL2AP,
+	}
+	sequences := 1100
+	if testing.Short() {
+		sequences = 80
+	}
+	var totalPruned, totalScanned uint64
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(9000 + seq)))
+		opts := lemp.Options{
+			Algorithm:     algos[seq%len(algos)],
+			Parallelism:   1,
+			MinBucketSize: 4,
+			SampleQueries: 4,
+			TuneByCost:    true,
+			Seed:          int64(seq + 1),
+		}
+		r := 4 + rng.Intn(9)   // 4..12
+		n := 12 + rng.Intn(41) // 12..52
+		p := clusteredProbe(rng, r, n)
+		nShards := 2 + rng.Intn(3)
+		sh, err := NewShardedPlaced(p.Clone(), nil, nShards, opts, PlaceCluster)
+		if err != nil {
+			t.Fatalf("seq %d: building sharded: %v", seq, err)
+		}
+		ref, err := lemp.New(p.Clone(), opts)
+		if err != nil {
+			t.Fatalf("seq %d: building reference: %v", seq, err)
+		}
+		live := ref.LiveIDs()
+
+		rounds := 1 + rng.Intn(3)
+		for round := 0; round < rounds; round++ {
+			if round > 0 { // round 0 queries the freshly built set
+				ops := randomOps(rng, r, &live)
+				res, err := sh.Update(ops, 0.25)
+				if err != nil {
+					t.Fatalf("seq %d round %d: sharded update: %v", seq, round, err)
+				}
+				// Mirror into the reference with the ids the shard set
+				// assigned, so both catalogs stay identical.
+				refOps := append([]lemp.ProbeUpdate(nil), ops...)
+				for i := range refOps {
+					if refOps[i].Op == lemp.OpAdd {
+						refOps[i].ID = res.IDs[i]
+						live = append(live, res.IDs[i])
+					}
+				}
+				if _, err := ref.ApplyUpdates(refOps); err != nil {
+					t.Fatalf("seq %d round %d: reference update: %v", seq, round, err)
+				}
+			}
+
+			m := 1 + rng.Intn(4)
+			q := lemp.NewMatrix(r, m)
+			for i := 0; i < m; i++ {
+				switch rng.Intn(5) {
+				case 0: // random direction
+					copy(q.Vec(i), randVec(rng, r))
+				case 1: // zero query
+				default: // probe-like: near a live probe's direction
+					copy(q.Vec(i), clusteredProbe(rng, r, 1).Vec(0))
+				}
+			}
+			theta := 0.05 + 2.5*rng.Float64()
+
+			got, _, err := sh.AboveTheta(q, theta)
+			if err != nil {
+				t.Fatalf("seq %d round %d: pruned above: %v", seq, round, err)
+			}
+			sh.noPrune = true
+			full, _, err := sh.AboveTheta(q, theta)
+			sh.noPrune = false
+			if err != nil {
+				t.Fatalf("seq %d round %d: full above: %v", seq, round, err)
+			}
+			compareRows(t, "pruned vs full fan-out", got, full)
+
+			entries, _, err := ref.AboveTheta(q, theta)
+			if err != nil {
+				t.Fatalf("seq %d round %d: reference above: %v", seq, round, err)
+			}
+			lemp.SortEntries(entries)
+			want := make([][]lemp.Entry, m)
+			for _, e := range entries {
+				want[e.Query] = append(want[e.Query], e)
+			}
+			compareRows(t, "pruned vs reference", got, want)
+
+			k := 1 + rng.Intn(4)
+			gotTop, _, err := sh.TopK(q, k)
+			if err != nil {
+				t.Fatalf("seq %d round %d: sharded topk: %v", seq, round, err)
+			}
+			wantTop, _, err := ref.RowTopK(q, k)
+			if err != nil {
+				t.Fatalf("seq %d round %d: reference topk: %v", seq, round, err)
+			}
+			compareTopKValues(t, "topk vs reference", gotTop, wantTop)
+		}
+		totalPruned += sh.ShardsPruned()
+		totalScanned += sh.ShardsScanned()
+	}
+	// The harness must actually exercise pruning, or the differential
+	// assertions above prove nothing about the cone bound.
+	if totalPruned == 0 {
+		t.Fatalf("no shard was ever pruned across %d sequences (%d scans)", sequences, totalScanned)
+	}
+	t.Logf("pruned %d of %d shard scans (%.1f%%)",
+		totalPruned, totalPruned+totalScanned, 100*float64(totalPruned)/float64(totalPruned+totalScanned))
+}
+
+// TestConeBoundConservative is the cone-soundness property test: for a
+// shard's direction cone, the per-query bound must dominate the exact
+// maximum inner product over the shard's live probes — including zero
+// probes, zero queries, and cones widened by post-build updates (adds and
+// rewrites that drift outside the original radius). A NaN query must never
+// prune under the !(bound < θ) keep rule.
+func TestConeBoundConservative(t *testing.T) {
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		r := 3 + rng.Intn(10)
+		n := 5 + rng.Intn(40)
+		p := clusteredProbe(rng, r, n)
+		ix, err := lemp.New(p.Clone(), lemp.Options{MinBucketSize: 4, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cone := ix.DirectionCone()
+
+		check := func(stage string, c *lemp.ShardCone, probes *lemp.Matrix) {
+			for qi := 0; qi < 20; qi++ {
+				q := randVec(rng, r)
+				if qi == 0 {
+					q = make([]float64, r) // zero query
+				}
+				qlen := vecmath.Norm(q)
+				maxDot := math.Inf(-1)
+				for i := 0; i < probes.N(); i++ {
+					if d := vecmath.Dot(q, probes.Vec(i)); d > maxDot {
+						maxDot = d
+					}
+				}
+				bound := coneBound(c, q, qlen)
+				// The floored bound only claims to dominate qualifying
+				// (v ≥ θ > 0) products, which maxDot ≤ 0 never yields.
+				if maxDot > 0 && bound < maxDot {
+					t.Fatalf("trial %d %s: cone bound %v below exact max %v (qlen %v, cone %+v)",
+						trial, stage, bound, maxDot, qlen, c)
+				}
+			}
+		}
+		check("fresh", cone, ix.Probe())
+
+		// Widen by a batch of adds/rewrites and re-check against the new
+		// probe set: the widened cone must still enclose every live probe.
+		probes, ids := ix.LiveProbes()
+		widened := cone
+		nAdd := 1 + rng.Intn(6)
+		grown := lemp.NewMatrix(r, probes.N()+nAdd)
+		for i := 0; i < probes.N(); i++ {
+			copy(grown.Vec(i), probes.Vec(i))
+		}
+		for a := 0; a < nAdd; a++ {
+			v := randVec(rng, r)
+			copy(grown.Vec(probes.N()+a), v)
+			widened = widenCone(widened, v)
+		}
+		_ = ids
+		check("widened", widened, grown)
+
+		// NaN query: the bound must not prune for any θ.
+		nanq := make([]float64, r)
+		nanq[0] = math.NaN()
+		b := coneBound(cone, nanq, vecmath.Norm(nanq))
+		if b < math.Inf(1) && !math.IsNaN(b) {
+			// A finite bound would be fine only if it still kept the shard
+			// for every θ, which it cannot; require NaN or +Inf.
+			t.Fatalf("trial %d: NaN query produced finite bound %v", trial, b)
+		}
+		if b < 1e18 { // the keep rule itself: !(bound < θ) must hold
+			t.Fatalf("trial %d: NaN query bound %v would prune", trial, b)
+		}
+	}
+}
+
+// TestCostPlacementBalancesSkew: on a length-skewed catalog laid out in
+// decreasing length order — the worst case for equal-count contiguous
+// splits — cost placement must produce a lower max/mean per-shard estimated
+// scan cost than range placement.
+func TestCostPlacementBalancesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const r, n, shards = 8, 600, 4
+	p := lemp.NewMatrix(r, n)
+	for i := 0; i < n; i++ {
+		v := p.Vec(i)
+		for f := range v {
+			v[f] = rng.NormFloat64()
+		}
+		// Zipf-ish length skew, decreasing with the column index.
+		norm := vecmath.Norm(v)
+		vecmath.Scale(v, v, 20.0/(norm*math.Pow(float64(i+1), 0.8)))
+	}
+	opts := lemp.Options{MinBucketSize: 10, Parallelism: 1}
+	rangeSh, err := NewShardedPlaced(p.Clone(), nil, shards, opts, PlaceRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costSh, err := NewShardedPlaced(p.Clone(), nil, shards, opts, PlaceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, cs := rangeSh.CostSkew(), costSh.CostSkew()
+	if cs >= rs {
+		t.Fatalf("cost placement skew %.3f not below range skew %.3f", cs, rs)
+	}
+	if cs > 1.5 {
+		t.Fatalf("cost placement skew %.3f still badly unbalanced", cs)
+	}
+	// Both placements must serve identical results.
+	q := lemp.NewMatrix(r, 3)
+	for i := 0; i < 3; i++ {
+		copy(q.Vec(i), randVec(rng, r))
+	}
+	a, _, err := rangeSh.AboveTheta(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := costSh.AboveTheta(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRows(t, "range vs cost", a, b)
+}
+
+// TestPlacementAddRouting: adds must follow the active placement — nearest
+// cone centroid under cluster placement, cheapest shard under cost
+// placement — and drift past the exception bound must trigger a whole-set
+// re-placement that leaves the router compact and results exact.
+func TestPlacementAddRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const r, n = 6, 120
+	p := clusteredProbe(rng, r, n)
+	opts := lemp.Options{MinBucketSize: 6, Parallelism: 1}
+	sh, err := NewShardedPlaced(p.Clone(), nil, 3, opts, PlaceCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := lemp.New(p.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Route an add along shard 0's centroid: it must land on shard 0.
+	_, cones := sh.PlacementInfo()
+	if cones == nil || cones[0] == nil || cones[0].Centroid == nil {
+		t.Fatal("cluster placement built no cones")
+	}
+	along := make([]float64, r)
+	copy(along, cones[0].Centroid)
+	vecmath.Scale(along, along, 1.5)
+	res, err := sh.Update([]lemp.ProbeUpdate{{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: along}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard, live := sh.router.route(res.IDs[0]); !live || shard != 0 {
+		t.Fatalf("centroid-aligned add routed to shard %d (live %v), want 0", shard, live)
+	}
+	if _, err := ref.ApplyUpdates([]lemp.ProbeUpdate{{Op: lemp.OpAdd, ID: res.IDs[0], Vec: along}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pile on adds until the drift bound trips: the exception map must be
+	// re-collapsed into ranges and results must still match the reference.
+	added := 0
+	for sh.Replacements() == 0 && added < 4*n {
+		v := clusteredProbe(rng, r, 1).Vec(0)
+		res, err := sh.Update([]lemp.ProbeUpdate{{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: v}}, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ApplyUpdates([]lemp.ProbeUpdate{{Op: lemp.OpAdd, ID: res.IDs[0], Vec: v}}); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+	if sh.Replacements() == 0 {
+		t.Fatalf("no drift re-placement after %d adds (exceptions %d)", added, sh.router.exceptions())
+	}
+	if exc := sh.router.exceptions(); exc != 0 {
+		t.Fatalf("router still holds %d exceptions after re-placement", exc)
+	}
+	q := lemp.NewMatrix(r, 4)
+	for i := 0; i < 4; i++ {
+		copy(q.Vec(i), clusteredProbe(rng, r, 1).Vec(0))
+	}
+	got, _, err := sh.AboveTheta(q, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := ref.AboveTheta(q, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lemp.SortEntries(entries)
+	want := make([][]lemp.Entry, 4)
+	for _, e := range entries {
+		want[e.Query] = append(want[e.Query], e)
+	}
+	compareRows(t, "post-replacement", got, want)
+
+	// Cost placement: adds must land on the cheapest shard.
+	costSh, err := NewShardedPlaced(p.Clone(), nil, 3, opts, PlaceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := append([]float64(nil), costSh.costs...)
+	cheapest := 0
+	for i := range costs {
+		if costs[i] < costs[cheapest] {
+			cheapest = i
+		}
+	}
+	res, err = costSh.Update([]lemp.ProbeUpdate{{Op: lemp.OpAdd, ID: lemp.AutoID, Vec: randVec(rng, r)}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard, live := costSh.router.route(res.IDs[0]); !live || shard != cheapest {
+		t.Fatalf("cost add routed to shard %d (live %v), want cheapest %d", shard, live, cheapest)
+	}
+}
+
+// TestClusterSnapshotRoundTrip: a cluster-placed server snapshotted and
+// restored must keep its placement (kind and cones), keep pruning, and
+// answer identically to the original.
+func TestClusterSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const r, n = 6, 90
+	p := clusteredProbe(rng, r, n)
+	cfg := Config{Shards: 3, Placement: "cluster", Options: lemp.Options{MinBucketSize: 6, Parallelism: 1}}
+	srv, err := New(p.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := snapshotReaders(writeShardSnapshots(t, srv))
+	restored, err := NewFromSnapshot(snaps, Config{Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Sharded().Placement(); got != PlaceCluster {
+		t.Fatalf("restored placement %q, want %q", got, PlaceCluster)
+	}
+	_, cones := restored.Sharded().PlacementInfo()
+	if cones == nil {
+		t.Fatal("restored shard set has no cones")
+	}
+	for i, c := range cones {
+		if c == nil {
+			t.Fatalf("restored shard %d has no cone", i)
+		}
+	}
+	q := lemp.NewMatrix(r, 5)
+	for i := 0; i < 5; i++ {
+		copy(q.Vec(i), clusteredProbe(rng, r, 1).Vec(0))
+	}
+	want, _, err := srv.Sharded().AboveTheta(q, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := restored.Sharded().AboveTheta(q, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRows(t, "restored vs original", got, want)
+
+	// A shard-count override must re-place through the placement interface.
+	resharded, err := NewFromSnapshot(snapshotReaders(writeShardSnapshots(t, srv)), Config{Shards: 2, Options: lemp.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resharded.Sharded().NumShards() != 2 {
+		t.Fatalf("re-sharded to %d shards, want 2", resharded.Sharded().NumShards())
+	}
+	got2, _, err := resharded.Sharded().AboveTheta(q, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRows(t, "re-sharded vs original", got2, want)
+}

@@ -26,6 +26,18 @@ import (
 type Config struct {
 	// Shards is the number of index shards (default 1).
 	Shards int
+	// Placement selects the shard-placement strategy: "range" (equal-count
+	// contiguous, the default), "cost" (contiguous, balanced by estimated
+	// scan cost) or "cluster" (directional k-means with per-shard cone
+	// pruning of Above-θ queries). When restoring from snapshots, an empty
+	// Placement adopts whatever strategy the snapshots were written under;
+	// a non-empty one overrides it (forcing a re-placement on load).
+	Placement string
+	// RebalanceOnLoad re-places the restored probe set under the effective
+	// placement strategy before serving, instead of adopting the snapshot
+	// layout as-is. Implied when Placement overrides the stored strategy or
+	// the snapshot count differs from Shards.
+	RebalanceOnLoad bool
 	// Options configure each shard's index. Options.Parallelism == 0 is
 	// replaced by runtime.NumCPU()/Shards (at least 1), so one dispatched
 	// batch fanning out across all shards uses about all cores — not
@@ -166,7 +178,15 @@ func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
 // — must use this so results and updates keep addressing the same probes.
 func NewWithIDs(probe *lemp.Matrix, ids []int32, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	sharded, err := NewShardedWithIDs(probe, ids, cfg.Shards, cfg.Options)
+	kind := PlaceRange
+	if cfg.Placement != "" {
+		k, err := ParsePlacement(cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		kind = k
+	}
+	sharded, err := NewShardedPlaced(probe, ids, cfg.Shards, cfg.Options, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -175,16 +195,51 @@ func NewWithIDs(probe *lemp.Matrix, ids []int32, cfg Config) (*Server, error) {
 
 // NewFromSnapshot builds a server from one LEMPIDX1 snapshot per shard (in
 // shard order, as written by WriteSnapshots), skipping index construction
-// entirely: startup is O(read) instead of O(index). cfg.Shards is ignored —
-// the snapshot count is the shard count; cfg.Options contributes only
-// Parallelism (structure and algorithm are fixed by the snapshots).
+// entirely: startup is O(read) instead of O(index). cfg.Options contributes
+// only Parallelism (structure and algorithm are fixed by the snapshots).
+//
+// The snapshot layout is adopted as-is by default: snapshot count = shard
+// count, stored placement strategy and cones included. Any of cfg.Shards
+// set to a different count, cfg.Placement overriding the stored strategy,
+// or cfg.RebalanceOnLoad forces one re-placement of the live probe set —
+// through the placement interface, whatever the snapshot layout was —
+// before the server starts serving.
 func NewFromSnapshot(snapshots []io.Reader, cfg Config) (*Server, error) {
+	target := cfg.Shards // 0 = keep the snapshot count
 	cfg.Shards = len(snapshots)
 	cfg = cfg.withDefaults()
 	sharded, err := NewShardedFromSnapshot(snapshots, lemp.LoadOptions{Parallelism: cfg.Options.Parallelism})
 	if err != nil {
 		return nil, err
 	}
+	rebalance := cfg.RebalanceOnLoad
+	if cfg.Placement != "" {
+		kind, err := ParsePlacement(cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		if kind != sharded.Placement() {
+			// Re-adopt the loaded indexes under the overriding strategy,
+			// then re-place: the snapshot partitioning reflects the old one.
+			if sharded, err = NewShardedFromIndexesPlaced(sharded.Indexes(), kind, nil); err != nil {
+				return nil, err
+			}
+			rebalance = true
+		}
+	}
+	if target > 0 && target != sharded.NumShards() {
+		rebalance = true
+	} else {
+		target = sharded.NumShards()
+	}
+	if rebalance {
+		// Must precede newServer: per-shard observability is sized to the
+		// final shard count.
+		if err := sharded.Rebalance(target); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Shards = sharded.NumShards()
 	return newServer(sharded, cfg), nil
 }
 
@@ -261,12 +316,25 @@ func (s *Server) WriteSnapshots(open func(i, n int) (io.WriteCloser, error)) err
 // rebuild.
 func (s *Server) WriteSnapshotsWith(open func(i, n int) (io.WriteCloser, error), opts lemp.SnapshotOptions) error {
 	ixs := s.sharded.Indexes()
+	kind, cones := s.sharded.PlacementInfo()
 	for i, ix := range ixs {
+		shOpts := opts
+		if shOpts.Placement == nil && kind != PlaceRange {
+			// Persist the placement strategy (and, for cluster shards, the
+			// direction cone) so a restore adopts it instead of falling back
+			// to range semantics. Range placement writes no PLMT section,
+			// keeping those snapshots readable by older builds.
+			pl := &lemp.ShardPlacement{Kind: string(kind)}
+			if cones != nil {
+				pl.Cone = cones[i]
+			}
+			shOpts.Placement = pl
+		}
 		w, err := open(i, len(ixs))
 		if err != nil {
 			return err
 		}
-		if err := ix.WriteSnapshotWith(w, opts); err != nil {
+		if err := ix.WriteSnapshotWith(w, shOpts); err != nil {
 			if a, ok := w.(interface{ Abort() error }); ok {
 				a.Abort()
 			} else {
@@ -728,6 +796,10 @@ type statsResponse struct {
 	Batches       uint64    `json:"batches"`
 	BatchRows     uint64    `json:"batch_rows"`
 	AvgBatchRows  float64   `json:"avg_batch_rows"`
+	Placement     string    `json:"placement"`
+	CostSkew      float64   `json:"cost_skew"`
+	ShardsScanned uint64    `json:"shards_scanned"`
+	ShardsPruned  uint64    `json:"shards_pruned"`
 	Cache         cacheInfo `json:"cache"`
 	Core          coreStats `json:"core"`
 }
@@ -785,6 +857,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:       batches,
 		BatchRows:     rows,
 		AvgBatchRows:  avg,
+		Placement:     string(s.sharded.Placement()),
+		CostSkew:      s.sharded.CostSkew(),
+		ShardsScanned: s.sharded.ShardsScanned(),
+		ShardsPruned:  s.sharded.ShardsPruned(),
 		Cache:         cacheInfo{Hits: s.cache.Hits(), Misses: s.cache.Misses(), Rows: s.cache.Len(), Entries: s.cache.Entries()},
 		Core: coreStats{
 			Queries:        st.Queries,

@@ -10,12 +10,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lemp"
 	"lemp/internal/obs"
+	"lemp/internal/vecmath"
 )
 
 // Sharded partitions a probe matrix into S contiguous shards, each backed
@@ -38,13 +40,23 @@ import (
 type Sharded struct {
 	r int
 
+	// Placement strategy the shard set was built with, and the effective
+	// build options (needed to re-place on Rebalance). Both are fixed at
+	// construction.
+	placement PlacementKind
+	opts      lemp.Options
+
 	// mu guards the swappable serving state: the shard index pointers,
-	// the epoch, and the live probe count. Query dispatch takes it
-	// briefly to snapshot a View; Update takes it to commit a swap.
+	// the epoch, the live probe count, and the placement metadata (per-
+	// shard estimated costs, and direction cones for cluster placement).
+	// Cone and cost slices are replaced wholesale on every commit, never
+	// mutated in place, so a View may hold them without the lock.
 	mu     sync.RWMutex
 	epoch  uint64
 	n      int // live probes across all shards
 	shards []*shard
+	costs  []float64         // per-shard estimated scan cost
+	cones  []*lemp.ShardCone // per-shard direction cones; nil unless cluster-placed
 
 	// updMu serializes Update calls. Routing state (router, nextID) is
 	// only accessed while it is held.
@@ -63,8 +75,20 @@ type Sharded struct {
 	cum     lemp.Stats // cumulative stats across all retrieval calls
 
 	// compactions counts shard re-bucketizations triggered by update
-	// delta mass (exported as lemp_compactions_total).
-	compactions atomic.Uint64
+	// delta mass (exported as lemp_compactions_total); replacements the
+	// drift-triggered whole-set re-placements (router exception mass).
+	compactions  atomic.Uint64
+	replacements atomic.Uint64
+
+	// Shard-scan accounting: scanned counts shard retrievals dispatched,
+	// pruned the shard retrievals skipped by the cone bound (exported as
+	// lemp_shards_scanned_total / lemp_shards_pruned_total).
+	scanned atomic.Uint64
+	pruned  atomic.Uint64
+
+	// noPrune disables cone pruning (differential tests compare pruned
+	// against full fan-out on the same shard set).
+	noPrune bool
 
 	// Observability hooks, wired once by the server before serving and
 	// nil for library use (all three are nil-safe at the call sites).
@@ -104,6 +128,14 @@ func NewSharded(probe *lemp.Matrix, nShards int, opts lemp.Options) (*Sharded, e
 // previously mutated catalog uses this so probe ids survive the rebuild
 // instead of being renumbered.
 func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.Options) (*Sharded, error) {
+	return NewShardedPlaced(probe, ids, nShards, opts, PlaceRange)
+}
+
+// NewShardedPlaced builds a shard set under an explicit placement strategy:
+// equal-count contiguous ranges (PlaceRange), contiguous ranges balanced by
+// estimated scan cost (PlaceCost), or direction clusters with per-shard
+// cones for query-time shard pruning (PlaceCluster).
+func NewShardedPlaced(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.Options, kind PlacementKind) (*Sharded, error) {
 	n := probe.N()
 	if nShards < 1 {
 		return nil, fmt.Errorf("server: shard count %d must be positive", nShards)
@@ -117,23 +149,22 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 	if nShards == 0 {
 		return nil, fmt.Errorf("server: probe matrix is empty")
 	}
-	s := &Sharded{r: probe.R(), n: n, shards: make([]*shard, nShards), tc: lemp.NewTuningCache()}
+	parts, err := partitionProbes(kind, probe, ids, nShards, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		r: probe.R(), n: n, placement: kind, opts: opts,
+		shards: make([]*shard, nShards), tc: lemp.NewTuningCache(),
+	}
 	routeIDs := make([][]int32, nShards)
-	for i := range s.shards {
-		// Split [0,n) into nShards near-equal contiguous ranges.
-		lo, hi := i*n/nShards, (i+1)*n/nShards
-		shardIDs := make([]int32, hi-lo)
-		for j := range shardIDs {
-			if ids != nil {
-				shardIDs[j] = ids[lo+j]
-			} else {
-				shardIDs[j] = int32(lo + j)
-			}
-			if shardIDs[j] >= s.nextID {
-				s.nextID = shardIDs[j] + 1
+	for i, part := range parts {
+		for _, id := range part.ids {
+			if id >= s.nextID {
+				s.nextID = id + 1
 			}
 		}
-		ix, err := lemp.NewWithIDs(probe.Slice(lo, hi), shardIDs, opts)
+		ix, err := lemp.NewWithIDs(part.probe, part.ids, opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: building shard %d: %w", i, err)
 		}
@@ -143,7 +174,37 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 		routeIDs[i] = ix.LiveIDs()
 	}
 	s.router = newRouter(routeIDs)
+	s.costs, s.cones = s.placementMeta(s.indexesLocked())
 	return s, nil
+}
+
+// indexesLocked returns the current shard index pointers without locking;
+// callers must hold s.mu or have exclusive access (construction, updMu
+// with no concurrent swap possible).
+func (s *Sharded) indexesLocked() []*lemp.Index {
+	out := make([]*lemp.Index, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.index
+	}
+	return out
+}
+
+// placementMeta computes the per-shard placement metadata for a shard-index
+// set: estimated scan costs always, direction cones only under cluster
+// placement (the only strategy that prunes with them).
+func (s *Sharded) placementMeta(ixs []*lemp.Index) ([]float64, []*lemp.ShardCone) {
+	costs := make([]float64, len(ixs))
+	var cones []*lemp.ShardCone
+	if s.placement == PlaceCluster {
+		cones = make([]*lemp.ShardCone, len(ixs))
+	}
+	for i, ix := range ixs {
+		costs[i] = ix.EstimatedCost()
+		if cones != nil {
+			cones[i] = ix.DirectionCone()
+		}
+	}
+	return costs, cones
 }
 
 // NewShardedFromIndexes assembles a Sharded from pre-built indexes —
@@ -152,10 +213,25 @@ func NewShardedWithIDs(probe *lemp.Matrix, ids []int32, nShards int, opts lemp.O
 // space. Empty shards are legal — probe updates can drain a shard, and its
 // snapshot must still restore (later adds refill it).
 func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
+	return NewShardedFromIndexesPlaced(ixs, PlaceRange, nil)
+}
+
+// NewShardedFromIndexesPlaced is NewShardedFromIndexes adopting a placement
+// strategy and, for cluster placement, optional per-shard direction cones
+// (from snapshot PLMT sections). Missing cones — nil slice or nil entries —
+// are recomputed from the live probe sets, so pruning works even when the
+// snapshots predate placement metadata.
+func NewShardedFromIndexesPlaced(ixs []*lemp.Index, kind PlacementKind, cones []*lemp.ShardCone) (*Sharded, error) {
 	if len(ixs) == 0 {
 		return nil, fmt.Errorf("server: no shard indexes")
 	}
-	s := &Sharded{r: ixs[0].R(), shards: make([]*shard, len(ixs)), tc: lemp.NewTuningCache()}
+	if cones != nil && len(cones) != len(ixs) {
+		return nil, fmt.Errorf("server: %d shard cones for %d shards", len(cones), len(ixs))
+	}
+	s := &Sharded{
+		r: ixs[0].R(), placement: kind, opts: ixs[0].Options(),
+		shards: make([]*shard, len(ixs)), tc: lemp.NewTuningCache(),
+	}
 	routeIDs := make([][]int32, len(ixs))
 	for i, ix := range ixs {
 		if ix.R() != s.r {
@@ -174,6 +250,23 @@ func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
 	if a, b, id, overlap := s.router.overlap(); overlap {
 		return nil, fmt.Errorf("server: probe id %d appears in shards %d and %d", id, a, b)
 	}
+	s.costs = make([]float64, len(ixs))
+	for i, ix := range ixs {
+		s.costs[i] = ix.EstimatedCost()
+	}
+	if kind == PlaceCluster {
+		// Adopt stored cones (kept O(read): they were widened by any updates
+		// applied after the original build, so they are at least as wide as
+		// required); recompute only the missing ones from the live sets.
+		s.cones = make([]*lemp.ShardCone, len(ixs))
+		for i, ix := range ixs {
+			if cones != nil && cones[i] != nil {
+				s.cones[i] = cones[i]
+			} else {
+				s.cones[i] = ix.DirectionCone()
+			}
+		}
+	}
 	return s, nil
 }
 
@@ -181,16 +274,29 @@ func NewShardedFromIndexes(ixs []*lemp.Index) (*Sharded, error) {
 // shard (in shard order), skipping bucketization and tuning: startup is
 // O(read). Snapshots written by Server.WriteSnapshots restore an identical
 // shard layout.
+// Placement metadata stored in the snapshots (PLMT sections) is adopted:
+// the shard set restores under the strategy it was built with, cones
+// included. Snapshots without placement metadata — or carrying a strategy
+// this build does not know — restore as range-placed, which serves
+// correctly (no pruning, adds by count).
 func NewShardedFromSnapshot(snapshots []io.Reader, opts lemp.LoadOptions) (*Sharded, error) {
 	ixs := make([]*lemp.Index, len(snapshots))
+	cones := make([]*lemp.ShardCone, len(snapshots))
+	kind := PlaceRange
 	for i, r := range snapshots {
-		ix, err := lemp.LoadIndex(r, opts)
+		ix, pl, err := lemp.LoadIndexPlacement(r, opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: loading shard %d snapshot: %w", i, err)
 		}
 		ixs[i] = ix
+		if pl != nil {
+			cones[i] = pl.Cone
+			if k, err := ParsePlacement(pl.Kind); err == nil {
+				kind = k
+			}
+		}
 	}
-	return NewShardedFromIndexes(ixs)
+	return NewShardedFromIndexesPlaced(ixs, kind, cones)
 }
 
 // Indexes returns the current per-shard indexes in shard order. Callers
@@ -231,6 +337,141 @@ func (s *Sharded) Epoch() uint64 {
 // update delta mass since construction.
 func (s *Sharded) Compactions() uint64 { return s.compactions.Load() }
 
+// Placement returns the placement strategy the shard set was built with.
+func (s *Sharded) Placement() PlacementKind { return s.placement }
+
+// ShardsScanned returns the cumulative number of per-shard retrievals
+// dispatched across all batches since construction.
+func (s *Sharded) ShardsScanned() uint64 { return s.scanned.Load() }
+
+// ShardsPruned returns the cumulative number of per-shard retrievals
+// skipped by the cone bound since construction.
+func (s *Sharded) ShardsPruned() uint64 { return s.pruned.Load() }
+
+// Replacements returns the number of drift-triggered whole-set
+// re-placements since construction.
+func (s *Sharded) Replacements() uint64 { return s.replacements.Load() }
+
+// CostSkew reports the current placement balance as the max/mean ratio of
+// per-shard estimated scan cost: 1 is perfectly balanced, S means one
+// shard carries the whole catalog. Degenerate catalogs (no cost mass)
+// report 1.
+func (s *Sharded) CostSkew() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.costs) == 0 {
+		return 1
+	}
+	max, sum := 0.0, 0.0
+	for _, c := range s.costs {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return max * float64(len(s.costs)) / sum
+}
+
+// PlacementInfo returns the placement strategy and the current per-shard
+// direction cones (nil unless cluster-placed) in one consistent snapshot —
+// the metadata per-shard snapshot writing persists (PLMT sections).
+func (s *Sharded) PlacementInfo() (PlacementKind, []*lemp.ShardCone) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.placement, s.cones
+}
+
+// Drift re-placement trigger (Update): at least driftMinExceptions router
+// exceptions and more than driftFraction of the live catalog routed
+// outside the contiguous id runs.
+const (
+	driftMinExceptions = 64
+	driftFraction      = 0.25
+)
+
+// Rebalance re-places the whole live probe set under the current placement
+// strategy into nShards shards (0 or negative keeps the current count),
+// rebuilding every shard index and swapping the new set in under one epoch
+// increment; in-flight views keep serving the old shard set. Probe ids are
+// preserved. An empty catalog is left unchanged. A rebalance that changes
+// the shard count must run before the server wires per-shard observability
+// (per-shard histograms are sized once).
+func (s *Sharded) Rebalance(nShards int) error {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	return s.replaceLocked(nShards)
+}
+
+// replaceLocked is Rebalance under an already-held updMu (the drift check
+// in Update re-places without re-acquiring it).
+func (s *Sharded) replaceLocked(nShards int) error {
+	if nShards <= 0 {
+		nShards = len(s.shards)
+	}
+	cur := s.Indexes()
+	mats := make([]*lemp.Matrix, len(cur))
+	idss := make([][]int32, len(cur))
+	total := 0
+	for i, ix := range cur {
+		mats[i], idss[i] = ix.LiveProbes()
+		total += len(idss[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	if nShards > total {
+		nShards = total
+	}
+	// Gather in ascending global id order so contiguous placements produce
+	// compact id runs for the router, whatever the former layout was.
+	type ref struct {
+		shard, col int
+	}
+	refs := make([]ref, 0, total)
+	for i, ids := range idss {
+		for c := range ids {
+			refs = append(refs, ref{i, c})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		return idss[refs[a].shard][refs[a].col] < idss[refs[b].shard][refs[b].col]
+	})
+	probe := lemp.NewMatrix(s.r, total)
+	ids := make([]int32, total)
+	for j, rf := range refs {
+		copy(probe.Vec(j), mats[rf.shard].Vec(rf.col))
+		ids[j] = idss[rf.shard][rf.col]
+	}
+	parts, err := partitionProbes(s.placement, probe, ids, nShards, s.opts)
+	if err != nil {
+		return err
+	}
+	newShards := make([]*shard, len(parts))
+	newIxs := make([]*lemp.Index, len(parts))
+	routeIDs := make([][]int32, len(parts))
+	for i, part := range parts {
+		ix, err := lemp.NewWithIDs(part.probe, part.ids, s.opts)
+		if err != nil {
+			return fmt.Errorf("server: rebuilding shard %d: %w", i, err)
+		}
+		newShards[i] = &shard{index: ix}
+		newIxs[i] = ix
+		routeIDs[i] = ix.LiveIDs()
+	}
+	costs, cones := s.placementMeta(newIxs)
+	s.mu.Lock()
+	s.shards = newShards
+	s.router = newRouter(routeIDs)
+	s.epoch++
+	s.n = total
+	s.costs, s.cones = costs, cones
+	s.mu.Unlock()
+	return nil
+}
+
 // CumulativeStats returns the accumulated core stats of every retrieval
 // call (all shards, all batches) since construction.
 func (s *Sharded) CumulativeStats() lemp.Stats {
@@ -245,17 +486,19 @@ func (s *Sharded) CumulativeStats() lemp.Stats {
 // index versions are retained by the snapshot), but long-held views serve
 // increasingly stale data.
 type View struct {
-	s     *Sharded
-	epoch uint64
-	n     int
-	ixs   []*lemp.Index
+	s      *Sharded
+	epoch  uint64
+	n      int
+	shards []*shard // the shard structs the ixs were taken from (their mutexes)
+	ixs    []*lemp.Index
+	cones  []*lemp.ShardCone // epoch-consistent cone snapshot; nil unless cluster-placed
 }
 
 // CurrentView snapshots the serving state at the current epoch.
 func (s *Sharded) CurrentView() *View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v := &View{s: s, epoch: s.epoch, n: s.n, ixs: make([]*lemp.Index, len(s.shards))}
+	v := &View{s: s, epoch: s.epoch, n: s.n, shards: s.shards, ixs: make([]*lemp.Index, len(s.shards)), cones: s.cones}
 	for i, sh := range s.shards {
 		v.ixs[i] = sh.index
 	}
@@ -288,11 +531,13 @@ func addShardStats(dst *lemp.Stats, st lemp.Stats) {
 	dst.Queries = queries
 }
 
-// fanOut runs fn on every shard of the view concurrently and accumulates
-// the per-shard stats; it returns the first error encountered. The shard
-// mutex serializes retrieval across all index versions of a shard. The
-// context is passed down into every shard retrieval, so canceling it —
-// client disconnect, request deadline — aborts all shard scans mid-bucket.
+// fanOut runs fn on every active shard of the view concurrently and
+// accumulates the per-shard stats; it returns the first error encountered.
+// active selects the shards to dispatch (nil = all); skipped shards are
+// counted as pruned, dispatched ones as scanned. The shard mutex serializes
+// retrieval across all index versions of a shard. The context is passed
+// down into every shard retrieval, so canceling it — client disconnect,
+// request deadline — aborts all shard scans mid-bucket.
 //
 // When ctx carries a trace (obs.ContextWithSpan), each shard goroutine
 // opens its own shard-tagged span and passes it down, so the core drivers
@@ -300,16 +545,30 @@ func addShardStats(dst *lemp.Stats, st lemp.Stats) {
 // time — including the wait for the shard mutex, which is exactly the
 // serialization skew worth seeing — feeds scanHist[i] when the server has
 // wired it.
-func (v *View) fanOut(ctx context.Context, fn func(ctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
+func (v *View) fanOut(ctx context.Context, active []bool, fn func(ctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error)) (lemp.Stats, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		call  lemp.Stats
 		first error
 	)
+	nAct := len(v.ixs)
+	if active != nil {
+		nAct = 0
+		for _, a := range active {
+			if a {
+				nAct++
+			}
+		}
+	}
+	v.s.scanned.Add(uint64(nAct))
+	v.s.pruned.Add(uint64(len(v.ixs) - nAct))
 	tr, parent := obs.SpanFrom(ctx)
-	wg.Add(len(v.ixs))
+	wg.Add(nAct)
 	for i, ix := range v.ixs {
+		if active != nil && !active[i] {
+			continue
+		}
 		go func(i int, ix *lemp.Index) {
 			defer wg.Done()
 			cctx := ctx
@@ -319,7 +578,7 @@ func (v *View) fanOut(ctx context.Context, fn func(ctx context.Context, i int, i
 				cctx = obs.ContextWithSpan(ctx, tr, ref)
 			}
 			start := time.Now()
-			sh := v.s.shards[i]
+			sh := v.shards[i]
 			sh.mu.Lock()
 			if v.s.testShardStart != nil {
 				v.s.testShardStart(cctx, i)
@@ -330,7 +589,7 @@ func (v *View) fanOut(ctx context.Context, fn func(ctx context.Context, i int, i
 			}
 			sh.mu.Unlock()
 			tr.End(ref)
-			if v.s.scanHist != nil {
+			if i < len(v.s.scanHist) {
 				v.s.scanHist[i].ObserveDuration(time.Since(start))
 			}
 			mu.Lock()
@@ -361,8 +620,11 @@ func (v *View) TopKCtx(ctx context.Context, q *lemp.Matrix, k int) (lemp.TopKRow
 	if err != nil {
 		return nil, lemp.Stats{}, err
 	}
+	// Row-Top-k cannot be shard-pruned a priori: the k-th best value is
+	// only known after the merge, so a low-bound shard may still hold a
+	// true top result. Every shard scans.
 	parts := make([]lemp.TopKRows, len(v.ixs))
-	st, err := v.fanOut(ctx, func(sctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error) {
+	st, err := v.fanOut(ctx, nil, func(sctx context.Context, i int, ix *lemp.Index) (lemp.Stats, error) {
 		res, err := ix.RetrieveSpec(sctx, q, spec)
 		if err != nil {
 			return lemp.Stats{}, err
@@ -389,6 +651,42 @@ func (v *View) TopK(q *lemp.Matrix, k int) (lemp.TopKRows, lemp.Stats, error) {
 	return v.TopKCtx(context.Background(), q, k)
 }
 
+// pruneSet computes the shard dispatch set for an Above-θ batch under
+// cluster placement (nil = scan all shards): a shard is skipped only when
+// every query row's cone bound stays below θ, so the dispatch set is the
+// union over the coalesced batch and a pruned shard cannot contribute any
+// qualifying entry for any row. Results are byte-identical to a full
+// fan-out. Row-Top-k never prunes (the per-row cutoff is only known after
+// the merge).
+func (v *View) pruneSet(q *lemp.Matrix, theta float64) []bool {
+	if v.cones == nil || v.s.noPrune {
+		return nil
+	}
+	qn := q.N()
+	qlens := make([]float64, qn)
+	for j := 0; j < qn; j++ {
+		qlens[j] = vecmath.Norm(q.Vec(j))
+	}
+	active := make([]bool, len(v.ixs))
+	anyPruned := false
+	for i, c := range v.cones {
+		keep := false
+		for j := 0; j < qn && !keep; j++ {
+			// !(bound < theta) keeps NaN bounds (non-finite queries) on the
+			// scan side — only a provably sub-θ shard is skipped.
+			if !(coneBound(c, q.Vec(j), qlens[j]) < theta) {
+				keep = true
+			}
+		}
+		active[i] = keep
+		anyPruned = anyPruned || !keep
+	}
+	if !anyPruned {
+		return nil
+	}
+	return active
+}
+
 // AboveThetaCtx answers Above-θ for a whole query matrix across all shards
 // of the view, concatenating per-shard result sets. Entries are returned
 // grouped by query in rows (row i holds query i's entries) in canonical
@@ -401,7 +699,7 @@ func (v *View) AboveThetaCtx(ctx context.Context, q *lemp.Matrix, theta float64)
 	}
 	rows := make([][]lemp.Entry, q.N())
 	var mu sync.Mutex
-	st, err := v.fanOut(ctx, func(sctx context.Context, _ int, ix *lemp.Index) (lemp.Stats, error) {
+	st, err := v.fanOut(ctx, v.pruneSet(q, theta), func(sctx context.Context, _ int, ix *lemp.Index) (lemp.Stats, error) {
 		res, err := ix.RetrieveSpec(sctx, q, spec)
 		if err != nil {
 			return lemp.Stats{}, err
@@ -497,6 +795,46 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 		}
 		return best
 	}
+	// Adds are routed by the active placement: nearest cone centroid under
+	// cluster placement (keeping shards directionally tight, so pruning
+	// stays effective), cheapest shard by estimated cost under cost
+	// placement (addCost tracks in-batch growth, the new vector's length
+	// approximating its bucket's l_b), smallest by count otherwise.
+	s.mu.RLock()
+	cones, baseCosts := s.cones, s.costs
+	s.mu.RUnlock()
+	addCost := make([]float64, len(cur))
+	placeAdd := func(vec []float64) int {
+		switch s.placement {
+		case PlaceCluster:
+			best, bestDot := -1, 0.0
+			if l := vecmath.Norm(vec); l > 0 {
+				for i, c := range cones {
+					if c == nil || c.Centroid == nil {
+						continue
+					}
+					if d := vecmath.Dot(vec, c.Centroid) / l; best < 0 || d > bestDot {
+						best, bestDot = i, d
+					}
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+			return smallest() // zero vector, or no shard has a usable axis
+		case PlaceCost:
+			best := 0
+			for i := 1; i < len(baseCosts); i++ {
+				if baseCosts[i]+addCost[i] < baseCosts[best]+addCost[best] {
+					best = i
+				}
+			}
+			addCost[best] += vecmath.Norm(vec)
+			return best
+		default:
+			return smallest()
+		}
+	}
 	perShard := make([][]lemp.ProbeUpdate, len(cur))
 	nextID := s.nextID
 	ids := make([]int32, len(ups))
@@ -517,7 +855,7 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 			if id >= nextID {
 				nextID = id + 1
 			}
-			sh := smallest()
+			sh := placeAdd(up.Vec)
 			perShard[sh] = append(perShard[sh], lemp.ProbeUpdate{Op: lemp.OpAdd, ID: id, Vec: up.Vec})
 			overlay[id] = sh
 			counts[sh]++
@@ -557,6 +895,32 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 		changed = true
 	}
 
+	// Refresh placement metadata for the shards the batch touched, still
+	// outside the serving lock: costs are recomputed from the new index
+	// versions; cones only ever widen (adds and rewrites may fall outside
+	// the old cone, removals are left alone — a stale-wide cone costs
+	// pruning opportunity, never correctness).
+	var newCosts []float64
+	var newCones []*lemp.ShardCone
+	if changed {
+		newCosts = append([]float64(nil), baseCosts...)
+		for i, nix := range newIxs {
+			if nix != nil {
+				newCosts[i] = nix.EstimatedCost()
+			}
+		}
+		if cones != nil {
+			newCones = append([]*lemp.ShardCone(nil), cones...)
+			for i, ops := range perShard {
+				for _, op := range ops {
+					if op.Op == lemp.OpAdd || op.Op == lemp.OpUpdate {
+						newCones[i] = widenCone(newCones[i], op.Vec)
+					}
+				}
+			}
+		}
+	}
+
 	// Commit: swap all affected shards under one epoch increment.
 	s.mu.Lock()
 	if changed {
@@ -578,8 +942,25 @@ func (s *Sharded) Update(ups []lemp.ProbeUpdate, compactThreshold float64) (Upda
 			}
 		}
 		s.nextID = nextID
+		s.costs = newCosts
+		if newCones != nil {
+			s.cones = newCones
+		}
 	}
 	res := UpdateResult{Epoch: s.epoch, IDs: ids, LiveN: s.n}
 	s.mu.Unlock()
+
+	// Drift bound: placement-routed adds land wherever the placement says,
+	// which the compact range router records as exceptions. Once the
+	// exception map outweighs a fraction of the catalog the id space has
+	// drifted far from the placement that built it — re-place the whole
+	// set (MaybeCompact-style: amortized against the update volume that
+	// caused it). Also restores cone tightness after removals.
+	if changed && s.router.exceptions() > driftMinExceptions &&
+		float64(s.router.exceptions()) > driftFraction*float64(res.LiveN) {
+		if err := s.replaceLocked(len(s.shards)); err == nil {
+			s.replacements.Add(1)
+		}
+	}
 	return res, nil
 }

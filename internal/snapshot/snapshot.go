@@ -52,6 +52,15 @@
 //	        section is opt-in (WriteOptions.IncludeLists) because it
 //	        roughly doubles snapshot size.
 //
+// Version 4 adds one optional section after BUKT (and SLST, when present):
+//
+//	"PLMT"  shard-placement metadata for the serving layer: the placement
+//	        strategy name, and — for cluster-placed shards — the shard's
+//	        direction cone (unit centroid, cos of the angular radius,
+//	        maximum live probe length). The section lets a restored shard
+//	        set resume centroid-routed pruning without recomputing cones;
+//	        a snapshot without it restores with placement re-derived.
+//
 // A writer emits version 1 whenever none of the optional sections is
 // needed, so plain snapshots stay byte-compatible with version-1 readers.
 //
@@ -91,23 +100,30 @@ const Magic = "LEMPIDX1"
 
 // Version is the base format version; VersionIDs is emitted when the
 // external-id sections (PIDS/MUTA) are present, VersionLists when the
-// sorted-list section (SLST) is.
+// sorted-list section (SLST) is, VersionPlacement when the placement
+// section (PLMT) is.
 const (
-	Version      = 1
-	VersionIDs   = 2
-	VersionLists = 3
+	Version          = 1
+	VersionIDs       = 2
+	VersionLists     = 3
+	VersionPlacement = 4
 )
 
 var (
-	tagOptions = [4]byte{'O', 'P', 'T', 'S'}
-	tagProbe   = [4]byte{'P', 'R', 'O', 'B'}
-	tagIDs     = [4]byte{'P', 'I', 'D', 'S'}
-	tagMuta    = [4]byte{'M', 'U', 'T', 'A'}
-	tagTune    = [4]byte{'T', 'S', 'M', 'P'}
-	tagBuckets = [4]byte{'B', 'U', 'K', 'T'}
-	tagLists   = [4]byte{'S', 'L', 'S', 'T'}
-	tagEnd     = [4]byte{'E', 'N', 'D', 0}
+	tagOptions   = [4]byte{'O', 'P', 'T', 'S'}
+	tagProbe     = [4]byte{'P', 'R', 'O', 'B'}
+	tagIDs       = [4]byte{'P', 'I', 'D', 'S'}
+	tagMuta      = [4]byte{'M', 'U', 'T', 'A'}
+	tagTune      = [4]byte{'T', 'S', 'M', 'P'}
+	tagBuckets   = [4]byte{'B', 'U', 'K', 'T'}
+	tagLists     = [4]byte{'S', 'L', 'S', 'T'}
+	tagPlacement = [4]byte{'P', 'L', 'M', 'T'}
+	tagEnd       = [4]byte{'E', 'N', 'D', 0}
 )
+
+// maxPlacementKind bounds the placement-strategy name in a PLMT section; a
+// longer one is corruption, not a strategy.
+const maxPlacementKind = 64
 
 // Dimension plausibility bounds, matching matrix.ReadBinary.
 const (
@@ -167,12 +183,26 @@ func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 			}
 		}
 	}
+	writePlmt := st.PlacementKind != "" || st.Cone != nil
+	if writePlmt {
+		if len(st.PlacementKind) > maxPlacementKind {
+			return fmt.Errorf("snapshot: placement kind %q longer than %d bytes", st.PlacementKind, maxPlacementKind)
+		}
+		if c := st.Cone; c != nil {
+			if c.Centroid != nil && len(c.Centroid) != st.Probe.R() {
+				return fmt.Errorf("snapshot: placement centroid has dimension %d, probe matrix %d", len(c.Centroid), st.Probe.R())
+			}
+		}
+	}
 	version := uint32(Version)
 	if st.IDs != nil || writeMuta || writeTune {
 		version = VersionIDs
 	}
 	if writeLists {
 		version = VersionLists
+	}
+	if writePlmt {
+		version = VersionPlacement
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
@@ -245,6 +275,17 @@ func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 			return err
 		}
 	}
+	if writePlmt {
+		plmtLen := uint64(1+len(st.PlacementKind)) + 1
+		if c := st.Cone; c != nil {
+			plmtLen += 4 + 8*uint64(len(c.Centroid)) + 16
+		}
+		if err := writeSection(bw, tagPlacement, plmtLen, func(w io.Writer) error {
+			return writePlacement(w, st)
+		}); err != nil {
+			return err
+		}
+	}
 	if err := writeSection(bw, tagEnd, 0, func(io.Writer) error { return nil }); err != nil {
 		return err
 	}
@@ -272,6 +313,107 @@ func writeSortedLists(w io.Writer, st *core.State) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// writePlacement emits the PLMT payload: the placement kind (length-
+// prefixed), a cone-presence byte, and — when present — the centroid
+// (length-prefixed; 0 for a degenerate cone with no usable axis), the cos
+// of the angular radius, and the maximum live probe length.
+func writePlacement(w io.Writer, st *core.State) error {
+	buf := make([]byte, 0, 2+len(st.PlacementKind))
+	buf = append(buf, byte(len(st.PlacementKind)))
+	buf = append(buf, st.PlacementKind...)
+	buf = append(buf, boolByte(st.Cone != nil))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	c := st.Cone
+	if c == nil {
+		return nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(c.Centroid)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := matrix.WriteFloat64s(w, c.Centroid); err != nil {
+		return err
+	}
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[0:8], math.Float64bits(c.CosRadius))
+	binary.LittleEndian.PutUint64(tail[8:16], math.Float64bits(c.MaxLen))
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// readPlacement parses and validates the PLMT payload. A cone that fails
+// validation here could silently prune shards that still hold qualifying
+// probes, so every field is checked: the centroid must match the probe
+// dimension, be finite, and be (near-)unit; the radius cosine must be a
+// finite value in [-1, 1]; the maximum length finite and non-negative.
+func readPlacement(r io.Reader, st *core.State) error {
+	var kindLen [1]byte
+	if _, err := io.ReadFull(r, kindLen[:]); err != nil {
+		return err
+	}
+	if int(kindLen[0]) > maxPlacementKind {
+		return fmt.Errorf("placement kind length %d exceeds %d", kindLen[0], maxPlacementKind)
+	}
+	kind := make([]byte, kindLen[0])
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return err
+	}
+	st.PlacementKind = string(kind)
+	var present [1]byte
+	if _, err := io.ReadFull(r, present[:]); err != nil {
+		return err
+	}
+	switch present[0] {
+	case 0:
+		return nil
+	case 1:
+	default:
+		return fmt.Errorf("cone flag is %d, want 0 or 1", present[0])
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	clen := int(binary.LittleEndian.Uint32(hdr[:]))
+	if clen != 0 && clen != st.Probe.R() {
+		return fmt.Errorf("cone centroid has dimension %d, probe matrix %d", clen, st.Probe.R())
+	}
+	c := &core.Cone{}
+	if clen > 0 {
+		var err error
+		if c.Centroid, err = matrix.ReadFloat64s(r, clen); err != nil {
+			return err
+		}
+		norm2 := 0.0
+		for _, x := range c.Centroid {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("cone centroid holds non-finite value %v", x)
+			}
+			norm2 += x * x
+		}
+		if math.Abs(norm2-1) > 1e-6 {
+			return fmt.Errorf("cone centroid is not a unit vector (squared norm %v)", norm2)
+		}
+	}
+	var tail [16]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return err
+	}
+	c.CosRadius = math.Float64frombits(binary.LittleEndian.Uint64(tail[0:8]))
+	c.MaxLen = math.Float64frombits(binary.LittleEndian.Uint64(tail[8:16]))
+	if math.IsNaN(c.CosRadius) || c.CosRadius < -1 || c.CosRadius > 1 {
+		return fmt.Errorf("cone radius cosine %v outside [-1, 1]", c.CosRadius)
+	}
+	if math.IsNaN(c.MaxLen) || math.IsInf(c.MaxLen, 0) || c.MaxLen < 0 {
+		return fmt.Errorf("cone max length is %v", c.MaxLen)
+	}
+	st.Cone = c
 	return nil
 }
 
@@ -423,14 +565,14 @@ func Read(r io.Reader) (*core.State, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version && v != VersionIDs && v != VersionLists {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d through %d)", v, Version, VersionLists)
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v < Version || v > VersionPlacement {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d through %d)", v, Version, VersionPlacement)
 	}
 	if rsv := binary.LittleEndian.Uint32(hdr[4:8]); rsv != 0 {
 		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
 	}
 	st := &core.State{}
-	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune, haveLists bool
+	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune, haveLists, havePlmt bool
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(br, tag[:]); err != nil {
@@ -502,6 +644,15 @@ func Read(r io.Reader) (*core.State, error) {
 			}
 			haveLists = true
 			err = readSortedLists(sr, st)
+		case tagPlacement:
+			if havePlmt {
+				return nil, fmt.Errorf("snapshot: duplicate PLMT section")
+			}
+			if !haveProbe {
+				return nil, fmt.Errorf("snapshot: PLMT section before PROB")
+			}
+			havePlmt = true
+			err = readPlacement(sr, st)
 		case tagEnd:
 			if sr.n != 0 {
 				return nil, fmt.Errorf("snapshot: END section with %d payload bytes", sr.n)

@@ -131,6 +131,86 @@ func buildUntunedState(t testing.TB) *core.State {
 	return ix.State()
 }
 
+// TestPlacementRoundTrip: placement metadata must emit format version 4,
+// round-trip exactly, and stay absent (version unchanged) when not set.
+// Invalid stored cones must be rejected by the reader.
+func TestPlacementRoundTrip(t *testing.T) {
+	st := buildState(t)
+	r := st.Probe.R()
+	var base bytes.Buffer
+	if err := Write(&base, st); err != nil {
+		t.Fatal(err)
+	}
+	baseVersion := binary.LittleEndian.Uint32(base.Bytes()[8:12])
+	centroid := make([]float64, r)
+	centroid[0], centroid[1] = 0.6, 0.8
+	st.PlacementKind = "cluster"
+	st.Cone = &core.Cone{Centroid: centroid, CosRadius: 0.25, MaxLen: 3.5}
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != VersionPlacement {
+		t.Fatalf("format version %d, want %d", v, VersionPlacement)
+	}
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PlacementKind != st.PlacementKind {
+		t.Errorf("placement kind %q, want %q", got.PlacementKind, st.PlacementKind)
+	}
+	if !reflect.DeepEqual(got.Cone, st.Cone) {
+		t.Errorf("cone %+v, want %+v", got.Cone, st.Cone)
+	}
+
+	// A kind-only placement (cost shards have no cone) round-trips too.
+	st.Cone = nil
+	buf.Reset()
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PlacementKind != st.PlacementKind {
+		t.Errorf("placement kind %q, want %q", got.PlacementKind, st.PlacementKind)
+	}
+	if got.Cone != nil {
+		t.Errorf("cone %+v, want nil", got.Cone)
+	}
+
+	// Without placement metadata the version must not rise.
+	st.PlacementKind, st.Cone = "", nil
+	buf.Reset()
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[8:12]); v != baseVersion {
+		t.Fatalf("placement-free snapshot has version %d, want %d", v, baseVersion)
+	}
+
+	// Invalid cones must fail the write-side validation: wrong centroid
+	// dimension, and a non-unit centroid must fail the read side.
+	st.PlacementKind = "cluster"
+	st.Cone = &core.Cone{Centroid: make([]float64, r+1), CosRadius: 0, MaxLen: 1}
+	if err := Write(&bytes.Buffer{}, st); err == nil {
+		t.Error("cone with wrong centroid dimension accepted")
+	}
+	bad := make([]float64, r)
+	bad[0] = 0.5 // |norm²−1| far beyond tolerance
+	st.Cone = &core.Cone{Centroid: bad, CosRadius: 0, MaxLen: 1}
+	buf.Reset()
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("non-unit centroid accepted by reader")
+	}
+}
+
 func TestReadRejectsBadMagicAndVersion(t *testing.T) {
 	st := buildState(t)
 	var buf bytes.Buffer
@@ -143,7 +223,7 @@ func TestReadRejectsBadMagicAndVersion(t *testing.T) {
 		t.Error("matrix magic accepted as a snapshot")
 	}
 	bad := append([]byte(nil), raw...)
-	binary.LittleEndian.PutUint32(bad[8:12], VersionLists+1)
+	binary.LittleEndian.PutUint32(bad[8:12], VersionPlacement+1)
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("future format version accepted")
 	}

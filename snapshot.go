@@ -32,11 +32,22 @@ type SnapshotOptions struct {
 	// re-verifies the lists against the stored directions, so corruption
 	// fails the load instead of mis-pruning.
 	IncludeLists bool
+	// Placement attaches shard-placement metadata (the PLMT section,
+	// format version 4): the strategy the owning shard set was built with
+	// and, for cluster placement, this shard's direction cone. Snapshots
+	// without it stay at their lowest sufficient version and restore with
+	// placement re-derived by the serving layer.
+	Placement *ShardPlacement
 }
 
 // WriteSnapshotWith is WriteSnapshot with explicit persistence options.
 func (ix *Index) WriteSnapshotWith(w io.Writer, opts SnapshotOptions) error {
-	return snapshot.WriteWith(w, ix.inner.State(), snapshot.WriteOptions{IncludeLists: opts.IncludeLists})
+	st := ix.inner.State()
+	if opts.Placement != nil {
+		st.PlacementKind = opts.Placement.Kind
+		st.Cone = opts.Placement.Cone
+	}
+	return snapshot.WriteWith(w, st, snapshot.WriteOptions{IncludeLists: opts.IncludeLists})
 }
 
 // LoadOptions adjust how a snapshot is turned back into an Index. Only
@@ -58,9 +69,24 @@ type LoadOptions struct {
 // mismatch is an error. A loaded index answers queries identically to the
 // index that was snapshotted.
 func LoadIndex(r io.Reader, opts LoadOptions) (*Index, error) {
+	ix, _, err := LoadIndexPlacement(r, opts)
+	return ix, err
+}
+
+// LoadIndexPlacement is LoadIndex returning the snapshot's shard-placement
+// metadata alongside the index: nil when the snapshot predates format
+// version 4 or was written without a PLMT section. The metadata is
+// validated by the reader (centroid dimension and normality, radius cosine
+// range) but otherwise opaque to the index itself; serving layers adopt or
+// recompute it.
+func LoadIndexPlacement(r io.Reader, opts LoadOptions) (*Index, *ShardPlacement, error) {
 	st, err := snapshot.Read(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var pl *ShardPlacement
+	if st.PlacementKind != "" || st.Cone != nil {
+		pl = &ShardPlacement{Kind: st.PlacementKind, Cone: st.Cone}
 	}
 	if opts.Parallelism != 0 {
 		st.Opts.Parallelism = opts.Parallelism
@@ -73,9 +99,9 @@ func LoadIndex(r io.Reader, opts LoadOptions) (*Index, error) {
 	}
 	inner, err := core.FromState(st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Index{inner: inner}, nil
+	return &Index{inner: inner}, pl, nil
 }
 
 // Probe returns the probe matrix the index was built over (or loaded with).
