@@ -24,6 +24,7 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 		"caching effects", "ablation",
 		"verification kernels",
 		"Placement", "cluster",
+		"latency vs load", "continuous", "overload",
 		"LEMP-LI", "Naive",
 	} {
 		if !strings.Contains(text, want) {
@@ -84,6 +85,20 @@ func TestPlacementPruneGuard(t *testing.T) {
 	if cluster.results != rng.results || cost.results != rng.results {
 		t.Errorf("result counts differ across placements: range %d cost %d cluster %d",
 			rng.results, cost.results, cluster.results)
+	}
+}
+
+// BenchmarkServingLoad runs the closed-loop latency-vs-load experiment
+// once per iteration; CI's bench-smoke job runs it at -benchtime=1x as the
+// serving-envelope regression canary (the run itself asserts that the
+// server's shed counter matches the client-observed 429s).
+func BenchmarkServingLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		r := NewRunner(Config{Scale: 0.02, Quick: true, Out: &out})
+		if err := r.Run("load"); err != nil {
+			b.Fatalf("Run(load): %v\n%s", err, out.String())
+		}
 	}
 }
 

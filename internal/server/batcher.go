@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,45 @@ import (
 	"lemp"
 	"lemp/internal/obs"
 )
+
+// BatchMode selects when a forming batch dispatches.
+type BatchMode int
+
+const (
+	// BatchModeWindow is the classic micro-batcher: a forming batch always
+	// waits out the full window (or fills to MaxBatch), even when the
+	// index is idle. Maximizes coalescing at the cost of a fixed window of
+	// added latency on every request.
+	BatchModeWindow BatchMode = iota
+	// BatchModeContinuous dispatches a forming batch the moment the key's
+	// previous retrieval completes — and immediately when the key has no
+	// retrieval in flight — with window and MaxBatch kept as upper bounds.
+	// Low-load requests pay no window penalty (an idle index dispatches
+	// them at once) and high-load dispatches run back-to-back with zero
+	// idle gap, coalescing exactly the requests that arrived during the
+	// previous retrieval.
+	BatchModeContinuous
+)
+
+// String returns the mode's flag spelling.
+func (m BatchMode) String() string {
+	if m == BatchModeContinuous {
+		return "continuous"
+	}
+	return "window"
+}
+
+// ParseBatchMode parses a -batch-mode flag value. The empty string is the
+// default, continuous.
+func ParseBatchMode(s string) (BatchMode, error) {
+	switch s {
+	case "", "continuous":
+		return BatchModeContinuous, nil
+	case "window":
+		return BatchModeWindow, nil
+	}
+	return 0, fmt.Errorf("server: unknown batch mode %q (want window or continuous)", s)
+}
 
 // Batcher coalesces concurrent retrieval requests into whole-matrix calls.
 // LEMP's drivers are batch-oriented — Row-Top-k and Above-θ take a query
@@ -19,9 +60,14 @@ import (
 // matrix; the combined batch is dispatched as a single sharded retrieval
 // and the per-query result rows are scattered back to the waiting callers.
 //
-// A batch is dispatched when it reaches MaxBatch rows or when Window
-// elapses after its first request, whichever comes first. Window <= 0 or
-// MaxBatch <= 1 disables coalescing: every request dispatches immediately.
+// Dispatch timing depends on the mode. In BatchModeWindow a batch
+// dispatches when it reaches MaxBatch rows or when Window elapses after
+// its first request, whichever comes first. In BatchModeContinuous (the
+// default) those stay as upper bounds, but a batch additionally dispatches
+// the moment its key has no retrieval in flight — immediately for the
+// first request after idle, and back-to-back as each retrieval completes
+// under load. Window <= 0 or MaxBatch <= 1 disables coalescing entirely:
+// every request dispatches immediately on its own context.
 //
 // Batches are epoch-pinned: requests only coalesce when they were admitted
 // at the same update epoch, and the combined retrieval runs on the View of
@@ -38,6 +84,7 @@ type Batcher struct {
 	sharded *Sharded
 	window  time.Duration
 	max     int
+	mode    BatchMode
 
 	// onDispatch, if set, observes every dispatched batch: the number of
 	// query rows and the number of coalesced requests it served.
@@ -45,20 +92,38 @@ type Batcher struct {
 
 	// Observability hooks, wired by the server and nil for library use.
 	// batchWaitHist observes each waiter's coalescing delay, batchRowsHist
-	// each dispatched call's row count. tracer supplies the batch-scoped
-	// scratch trace that shared retrievals record spans into; the spans
-	// are then adopted into every still-waiting request's own trace, so a
-	// coalesced request's trace shows the shard fan-out it shared.
+	// each dispatched call's row count. dispatchIdle accumulates the
+	// nanoseconds a key's index sat idle while a forming batch waited to
+	// dispatch — the window penalty continuous mode exists to remove.
+	// tracer supplies the batch-scoped scratch trace that shared
+	// retrievals record spans into; the spans are then adopted into every
+	// still-waiting request's own trace, so a coalesced request's trace
+	// shows the shard fan-out it shared.
 	batchWaitHist *obs.Histogram
 	batchRowsHist *obs.Histogram
+	dispatchIdle  *obs.Counter
 	tracer        *obs.Tracer
 
 	// pending counts query rows sitting in forming (not yet dispatched)
-	// batches — the batcher's queue depth.
+	// batches — the batcher's queue depth, and the admission-control
+	// signal the server sheds on.
 	pending atomic.Int64
 
 	mu      sync.Mutex
 	forming map[batchKey]*formingBatch
+	// keys tracks per-key dispatch state: how many retrievals are in
+	// flight (continuous mode fires the next forming batch when one
+	// completes) and when the key last went idle (for the idle-gap
+	// metric). Entries are reaped once a key has neither in-flight
+	// dispatches nor a forming batch, so the map stays bounded across
+	// epochs and parameter churn.
+	keys map[batchKey]*keyState
+}
+
+// keyState is the per-key dispatch bookkeeping. Guarded by Batcher.mu.
+type keyState struct {
+	inflight int       // dispatched-but-unfinished retrievals for the key
+	lastDone time.Time // when inflight last dropped to zero
 }
 
 // PendingRows returns the number of query rows currently waiting in
@@ -84,6 +149,7 @@ type formingBatch struct {
 	rows    int
 	waiters []*waiter
 	timer   *time.Timer
+	created time.Time
 	fired   bool // dispatched (by size or timer); no longer accepting rows
 
 	// Merged cancellation: ctx is the batch's retrieval context, live the
@@ -99,9 +165,10 @@ type formingBatch struct {
 // waitSpan covers the coalescing delay, retSpan the shared retrieval
 // (under which the batch's shard/merge spans are adopted). gone marks a
 // waiter whose caller abandoned the batch (context ended); it is guarded
-// by Batcher.mu, and dispatch only touches a waiter's trace under that
-// lock while !gone — once abandon has run, the trace is back in the
-// caller's hands and the batcher never touches it again.
+// by Batcher.mu, and dispatch only touches a waiter's trace — or sends
+// into its done channel — under that lock while !gone. Once abandon has
+// run, the trace is back in the caller's hands and the batcher never
+// touches the waiter again.
 type waiter struct {
 	off, n int
 	done   chan batchResult
@@ -124,15 +191,21 @@ type batchResult struct {
 	err   error
 }
 
-// NewBatcher wraps a sharded index with request coalescing.
-func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
+// NewBatcher wraps a sharded index with request coalescing in the given
+// dispatch mode.
+func NewBatcher(sh *Sharded, window time.Duration, maxBatch int, mode BatchMode) *Batcher {
 	return &Batcher{
 		sharded: sh,
 		window:  window,
 		max:     maxBatch,
+		mode:    mode,
 		forming: make(map[batchKey]*formingBatch),
+		keys:    make(map[batchKey]*keyState),
 	}
 }
+
+// Mode returns the batcher's dispatch mode.
+func (b *Batcher) Mode() BatchMode { return b.mode }
 
 // TopK submits one request's query rows (concatenated vectors of dimension
 // R) for Row-Top-k retrieval at the current epoch and blocks until its
@@ -147,6 +220,11 @@ func (b *Batcher) TopK(ctx context.Context, data []float64, rows, k int) ([][]le
 // are the whole batch's core stats — shared by every coalesced request of
 // the batch, since the retrieval ran once for all of them.
 func (b *Batcher) TopKAt(ctx context.Context, v *View, data []float64, rows, k int) ([][]lemp.Entry, lemp.Stats, error) {
+	if k < 1 {
+		// Rejected here, not in the shared retrieval: a bad parameter must
+		// fail its own caller, never a coalesced batch.
+		return nil, lemp.Stats{}, fmt.Errorf("server: top-k requires k >= 1, got %d", k)
+	}
 	return b.submit(ctx, batchKey{topk: true, k: k, epoch: v.Epoch()}, v, data, rows)
 }
 
@@ -160,6 +238,13 @@ func (b *Batcher) AboveTheta(ctx context.Context, data []float64, rows int, thet
 // AboveThetaAt is AboveTheta pinned to the caller's epoch snapshot, with
 // the batch's shared core stats.
 func (b *Batcher) AboveThetaAt(ctx context.Context, v *View, data []float64, rows int, theta float64) ([][]lemp.Entry, lemp.Stats, error) {
+	if math.IsNaN(theta) || math.IsInf(theta, 0) {
+		// θ is part of the coalescing key and NaN != NaN: an admitted NaN
+		// could never find its forming batch again, so every call would
+		// orphan a timer-held batch of its own. The HTTP layer rejects
+		// these already; the library path must too.
+		return nil, lemp.Stats{}, fmt.Errorf("server: theta must be finite, got %v", theta)
+	}
 	return b.submit(ctx, batchKey{theta: theta, epoch: v.Epoch()}, v, data, rows)
 }
 
@@ -169,6 +254,12 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 	}
 	if rows == 0 {
 		return nil, lemp.Stats{}, nil
+	}
+	// Validate the submission's shape before it joins a batch: a malformed
+	// library-level submission must fail its own caller alone, not poison
+	// the combined MatrixFromData call and fail every innocent batch-mate.
+	if r := b.sharded.R(); rows < 0 || len(data) != rows*r {
+		return nil, lemp.Stats{}, fmt.Errorf("server: batch submission has %d values for %d rows of dimension %d", len(data), rows, r)
 	}
 	if b.window <= 0 || b.max <= 1 {
 		// No coalescing: the request's own context drives the retrieval,
@@ -185,7 +276,7 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 		if fb != nil && !fb.fired {
 			b.fire(fb)
 		}
-		fb = &formingBatch{key: key, view: v}
+		fb = &formingBatch{key: key, view: v, created: time.Now()}
 		fb.ctx, fb.cancel = context.WithCancel(context.Background())
 		fb.timer = time.AfterFunc(b.window, func() {
 			b.mu.Lock()
@@ -202,7 +293,15 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 	fb.waiters = append(fb.waiters, w)
 	fb.live++
 	b.pending.Add(int64(rows))
-	if fb.rows >= b.max {
+	switch {
+	case fb.rows >= b.max:
+		b.fire(fb)
+	case b.mode == BatchModeContinuous && b.inflight(key) == 0:
+		// The index is idle for this key: dispatching now costs nothing in
+		// coalescing (nobody else could be served sooner by waiting) and
+		// saves the full window of latency. Under load the key has a
+		// retrieval in flight and the batch holds until it completes
+		// (completion fires it), the window elapses, or max is reached.
 		b.fire(fb)
 	}
 	b.mu.Unlock()
@@ -221,6 +320,15 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 	}
 }
 
+// inflight returns the number of dispatched-but-unfinished retrievals for
+// key. Callers must hold b.mu.
+func (b *Batcher) inflight(key batchKey) int {
+	if ks := b.keys[key]; ks != nil {
+		return ks.inflight
+	}
+	return 0
+}
+
 // abandon records one waiter's departure. When the last interested waiter
 // leaves, the batch context cancels; if the batch had not fired yet it is
 // retired entirely — stopped timer, removed from the forming map — so a
@@ -228,9 +336,9 @@ func (b *Batcher) submit(ctx context.Context, key batchKey, v *View, data []floa
 // whose merged context is already dead (and inheriting its cancellation).
 //
 // The departing waiter's trace leaves with its request: gone is set under
-// b.mu, after which dispatch never touches w.tr again, and any spans the
-// batcher opened are closed here so the request can finish its trace
-// immediately.
+// b.mu, after which dispatch never touches w.tr (or sends into w.done)
+// again, and any spans the batcher opened are closed here so the request
+// can finish its trace immediately.
 func (b *Batcher) abandon(fb *formingBatch, w *waiter) {
 	b.mu.Lock()
 	w.gone = true
@@ -248,12 +356,14 @@ func (b *Batcher) abandon(fb *formingBatch, w *waiter) {
 				delete(b.forming, fb.key)
 			}
 			b.pending.Add(-int64(fb.rows))
+			b.reapKey(fb.key)
 		}
 	}
 	b.mu.Unlock()
 }
 
-// fire dispatches fb on its own goroutine. Callers must hold b.mu.
+// fire dispatches fb on its own goroutine and charges the key's idle gap.
+// Callers must hold b.mu.
 func (b *Batcher) fire(fb *formingBatch) {
 	if fb.fired {
 		return
@@ -264,7 +374,57 @@ func (b *Batcher) fire(fb *formingBatch) {
 		delete(b.forming, fb.key)
 	}
 	b.pending.Add(-int64(fb.rows))
+	ks := b.keys[fb.key]
+	if ks == nil {
+		ks = &keyState{}
+		b.keys[fb.key] = ks
+	}
+	if ks.inflight == 0 {
+		// The key's index sat idle while this batch waited: from the later
+		// of the batch forming and the previous retrieval completing,
+		// until now. Continuous mode keeps this near zero by construction;
+		// window mode pays up to the full window here.
+		idleStart := fb.created
+		if ks.lastDone.After(idleStart) {
+			idleStart = ks.lastDone
+		}
+		b.dispatchIdle.Add(float64(time.Since(idleStart).Nanoseconds()))
+	}
+	ks.inflight++
 	go b.dispatch(fb)
+}
+
+// completeDispatch records one retrieval's completion and, in continuous
+// mode, fires the key's forming batch (if any) so dispatches stay
+// back-to-back with zero idle gap.
+func (b *Batcher) completeDispatch(key batchKey) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ks := b.keys[key]
+	if ks == nil {
+		return
+	}
+	ks.inflight--
+	if ks.inflight == 0 {
+		ks.lastDone = time.Now()
+	}
+	if b.mode == BatchModeContinuous {
+		if next := b.forming[key]; next != nil && !next.fired {
+			b.fire(next)
+			return
+		}
+	}
+	b.reapKey(key)
+}
+
+// reapKey drops a key's dispatch state once it is fully quiet — no
+// retrieval in flight and no forming batch — so the map does not grow
+// without bound across epochs and parameter values. Callers must hold
+// b.mu.
+func (b *Batcher) reapKey(key batchKey) {
+	if ks := b.keys[key]; ks != nil && ks.inflight == 0 && b.forming[key] == nil {
+		delete(b.keys, key)
+	}
 }
 
 // dispatch runs the combined retrieval and scatters rows to the waiters.
@@ -273,8 +433,10 @@ func (b *Batcher) fire(fb *formingBatch) {
 // trace — that waiter may abandon (and finish its trace) mid-retrieval —
 // so it records into a batch-scoped scratch trace instead, and after the
 // retrieval its spans are adopted into every waiter that is still here.
-// All per-waiter trace access happens under b.mu opposite abandon's gone
-// flag, so a departed request's trace is never touched.
+// All per-waiter access (trace and result scatter alike) happens under
+// b.mu opposite abandon's gone flag, so a departed request's trace is
+// never touched and its result rows are never pinned in a channel nobody
+// will read.
 func (b *Batcher) dispatch(fb *formingBatch) {
 	defer fb.cancel() // release the merged context once everyone is served
 	traced := false
@@ -300,22 +462,24 @@ func (b *Batcher) dispatch(fb *formingBatch) {
 	}
 	res := b.retrieve(rctx, fb.key, fb.view, fb.data, fb.rows, len(fb.waiters))
 
+	// The retrieval is done: let the next forming batch for this key
+	// dispatch before we spend time scattering results, so back-to-back
+	// batches overlap the scatter instead of serializing behind it.
+	b.completeDispatch(fb.key)
+
 	b.mu.Lock()
 	for _, w := range fb.waiters {
 		if w.gone {
+			// The caller already left with ctx.Err(): sending its result
+			// into the buffered done channel would pin the sliced rows
+			// until the channel itself is collected, for a reader that
+			// will never come.
 			continue
 		}
 		if btr != nil {
 			w.tr.AdoptSpans(btr, 0, obs.SpanRef(btr.Len()), w.retSpan)
 		}
 		w.tr.End(w.retSpan)
-	}
-	b.mu.Unlock()
-	if btr != nil {
-		b.tracer.Release(btr)
-	}
-
-	for _, w := range fb.waiters {
 		if res.err != nil {
 			w.done <- batchResult{stats: res.stats, err: res.err}
 			continue
@@ -327,6 +491,10 @@ func (b *Batcher) dispatch(fb *formingBatch) {
 			}
 		}
 		w.done <- batchResult{rows: rows, stats: res.stats}
+	}
+	b.mu.Unlock()
+	if btr != nil {
+		b.tracer.Release(btr)
 	}
 }
 

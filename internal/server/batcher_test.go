@@ -88,7 +88,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	b := NewBatcher(sh, 100*time.Millisecond, 1024)
+	b := NewBatcher(sh, 100*time.Millisecond, 1024, BatchModeWindow)
 	var dispatches, coalesced atomic.Int64
 	b.onDispatch = func(rows, requests int) {
 		dispatches.Add(1)
@@ -139,7 +139,7 @@ func TestBatcherCoalesces(t *testing.T) {
 func TestBatcherDispatchesAtMax(t *testing.T) {
 	sh, q := newTestSharded(t)
 	const max = 8
-	b := NewBatcher(sh, 10*time.Second, max)
+	b := NewBatcher(sh, 10*time.Second, max, BatchModeWindow)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -162,7 +162,7 @@ func TestBatcherDispatchesAtMax(t *testing.T) {
 // different problems) never share a batch.
 func TestBatcherKeysSeparateParams(t *testing.T) {
 	sh, q := newTestSharded(t)
-	b := NewBatcher(sh, 50*time.Millisecond, 1024)
+	b := NewBatcher(sh, 50*time.Millisecond, 1024, BatchModeWindow)
 	type dispatched struct{ rows int }
 	var mu sync.Mutex
 	var batches []dispatched

@@ -34,7 +34,7 @@ const benchK = 10
 // call per request — the baseline the batched configuration must beat.
 func runDispatchBench(b *testing.B, window time.Duration, maxBatch int) {
 	sh, q := benchSharded(b)
-	batcher := NewBatcher(sh, window, maxBatch)
+	batcher := NewBatcher(sh, window, maxBatch, BatchModeWindow)
 	n := q.N()
 	var i atomic.Int64
 	// Many more in-flight clients than cores: the regime batching targets.

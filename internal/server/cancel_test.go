@@ -139,7 +139,7 @@ func TestBatcherMergedContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBatcher(sh, 50*time.Millisecond, 64)
+	b := NewBatcher(sh, 50*time.Millisecond, 64, BatchModeWindow)
 
 	// One of two callers cancels: the survivor still gets its rows.
 	ctxA, cancelA := context.WithCancel(context.Background())
@@ -177,7 +177,7 @@ func TestBatcherMergedContext(t *testing.T) {
 	// context.Canceled instead of running to completion. (A batch whose
 	// every caller leaves before it fires is retired without dispatching
 	// at all — covered by TestAbandonedBatchNotJoinable.)
-	fast := NewBatcher(sh, time.Millisecond, 64)
+	fast := NewBatcher(sh, time.Millisecond, 64, BatchModeWindow)
 	started := make(chan struct{})
 	var startOnce sync.Once
 	sh.testShardStart = func(ctx context.Context, _ int) {
@@ -238,7 +238,7 @@ func TestAbandonedBatchNotJoinable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBatcher(sh, 200*time.Millisecond, 64)
+	b := NewBatcher(sh, 200*time.Millisecond, 64, BatchModeWindow)
 
 	ctxA, cancelA := context.WithCancel(context.Background())
 	aDone := make(chan error, 1)

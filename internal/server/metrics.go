@@ -20,10 +20,10 @@ import (
 // A fixed list, never request data: label cardinality stays bounded.
 var endpointNames = []string{"topk", "above", "update", "stats", "healthz", "readyz", "metrics", "traces"}
 
-// statusCodes pre-resolved per endpoint. 499 is the synthesized "client
-// closed request" status for requests canceled before a response was
-// written.
-var statusCodes = []int{200, 400, 413, 499, 500, 503}
+// statusCodes pre-resolved per endpoint. 429 is admission control shedding
+// under overload; 499 is the synthesized "client closed request" status
+// for requests canceled before a response was written.
+var statusCodes = []int{200, 400, 413, 429, 499, 500, 503}
 
 type serverMetrics struct {
 	reg *obs.Registry
@@ -34,10 +34,12 @@ type serverMetrics struct {
 	reqTotal      map[string]map[int]*obs.Counter // endpoint → status → count
 	reqTotalOther map[string]*obs.Counter         // endpoint → unexpected status
 
-	batchWait *obs.Histogram
-	batchRows *obs.Histogram
-	shardScan []*obs.Histogram // per shard
-	mergeDur  *obs.Histogram
+	batchWait    *obs.Histogram
+	batchRows    *obs.Histogram
+	shardScan    []*obs.Histogram // per shard
+	mergeDur     *obs.Histogram
+	requestsShed *obs.Counter
+	dispatchIdle *obs.Counter
 
 	coreCandidates  *obs.Counter
 	coreResults     *obs.Counter
@@ -98,6 +100,10 @@ func newServerMetrics(shards int) *serverMetrics {
 	m.mergeDur = reg.Histogram("lemp_merge_seconds",
 		"K-way merge (top-k) or row sort (above-theta) time per retrieval call.",
 		obs.ExpBuckets(10e-6, 2, 12))
+	m.requestsShed = reg.Counter("lemp_requests_shed_total",
+		"Retrieval requests rejected with 429 by admission control (batch queue depth or in-flight limit reached).")
+	m.dispatchIdle = reg.Counter("lemp_batch_dispatch_idle_ns",
+		"Total nanoseconds a key's index sat idle while a forming batch waited to dispatch (the window penalty continuous batching removes).")
 
 	m.coreCandidates = reg.Counter("lemp_core_candidates_total",
 		"Probe vectors that survived bucket pruning and were exactly verified (the paper's |C|).")
@@ -238,8 +244,10 @@ func (s *Server) wireState() {
 	s.sharded.scanHist = m.shardScan
 	s.sharded.mergeHist = m.mergeDur
 	s.sharded.onCallStats = m.recordCallStats
-	// And the batcher: wait/size histograms and the batch-scoped tracer.
+	// And the batcher: wait/size histograms, the idle-gap counter and the
+	// batch-scoped tracer.
 	s.batcher.batchWaitHist = m.batchWait
 	s.batcher.batchRowsHist = m.batchRows
+	s.batcher.dispatchIdle = m.dispatchIdle
 	s.batcher.tracer = s.tracer
 }

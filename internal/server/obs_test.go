@@ -145,6 +145,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"lemp_cache_hits_total", "lemp_cache_misses_total",
 		"lemp_cache_rows", "lemp_cache_entries",
 		"lemp_traces_finished_total", "lemp_traces_retained_total",
+		"lemp_requests_shed_total", "lemp_batch_dispatch_idle_ns",
 	}
 	for _, name := range required {
 		if fams[name] == nil {

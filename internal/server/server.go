@@ -50,6 +50,22 @@ type Config struct {
 	// BatchMax caps the number of query rows per combined batch
 	// (default 256).
 	BatchMax int
+	// BatchMode selects when a forming batch dispatches: "continuous"
+	// (the default; dispatch immediately when the key's index is idle and
+	// back-to-back as each retrieval completes, with BatchWindow/BatchMax
+	// as upper bounds) or "window" (always wait out the full window).
+	BatchMode string
+	// ShedQueueRows is the admission-control bound on the batcher's queue
+	// depth: while at least this many query rows sit in forming batches,
+	// new retrieval requests are rejected with 429 before enqueueing
+	// (default 16384; negative disables queue-depth shedding).
+	ShedQueueRows int
+	// ShedInflight is the admission-control bound on concurrently served
+	// retrieval/update requests: a request that would push the in-flight
+	// count past this is rejected with 429 before any work (default 4096;
+	// negative disables in-flight shedding). Shedding early keeps latency
+	// bounded under overload instead of letting the queue collapse.
+	ShedInflight int
 	// CacheEntries is the LRU result-cache capacity in result entries
 	// (default 65536; negative disables caching). Entries, not rows: an
 	// Above-θ row can hold up to N entries, so a row bound would not
@@ -109,6 +125,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMax == 0 {
 		c.BatchMax = 256
+	}
+	if c.BatchMode == "" {
+		c.BatchMode = BatchModeContinuous.String()
+	}
+	if c.ShedQueueRows == 0 {
+		c.ShedQueueRows = 16384
+	}
+	if c.ShedInflight == 0 {
+		c.ShedInflight = 4096
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 65536
@@ -178,6 +203,9 @@ func New(probe *lemp.Matrix, cfg Config) (*Server, error) {
 // — must use this so results and updates keep addressing the same probes.
 func NewWithIDs(probe *lemp.Matrix, ids []int32, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if _, err := ParseBatchMode(cfg.BatchMode); err != nil {
+		return nil, err
+	}
 	kind := PlaceRange
 	if cfg.Placement != "" {
 		k, err := ParsePlacement(cfg.Placement)
@@ -208,6 +236,9 @@ func NewFromSnapshot(snapshots []io.Reader, cfg Config) (*Server, error) {
 	target := cfg.Shards // 0 = keep the snapshot count
 	cfg.Shards = len(snapshots)
 	cfg = cfg.withDefaults()
+	if _, err := ParseBatchMode(cfg.BatchMode); err != nil {
+		return nil, err
+	}
 	sharded, err := NewShardedFromSnapshot(snapshots, lemp.LoadOptions{Parallelism: cfg.Options.Parallelism})
 	if err != nil {
 		return nil, err
@@ -245,10 +276,11 @@ func NewFromSnapshot(snapshots []io.Reader, cfg Config) (*Server, error) {
 
 // newServer wires the shared serving stack around a shard set.
 func newServer(sharded *Sharded, cfg Config) *Server {
+	mode, _ := ParseBatchMode(cfg.BatchMode) // validated by the constructors
 	s := &Server{
 		cfg:     cfg,
 		sharded: sharded,
-		batcher: NewBatcher(sharded, cfg.BatchWindow, cfg.BatchMax),
+		batcher: NewBatcher(sharded, cfg.BatchWindow, cfg.BatchMax, mode),
 		cache:   NewCache(cfg.CacheEntries),
 		start:   time.Now(),
 		logger:  cfg.Logger,
@@ -578,7 +610,41 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, req any) boo
 	return true
 }
 
+// shedRequest is the admission-control gate, checked before a retrieval
+// request's body is even decoded: when the batcher's forming-batch queue
+// or the in-flight request count is past the configured bound, the request
+// is rejected with 429 and a Retry-After hint instead of being enqueued.
+// Shedding at the door keeps the latency of admitted requests bounded
+// under overload — the alternative is an unboundedly deep queue where
+// every request times out. Returns true when the request was shed.
+func (s *Server) shedRequest(w http.ResponseWriter) bool {
+	var reason string
+	switch {
+	case s.cfg.ShedQueueRows > 0 && s.batcher.PendingRows() >= int64(s.cfg.ShedQueueRows):
+		reason = fmt.Sprintf("batch queue holds %d rows (limit %d)", s.batcher.PendingRows(), s.cfg.ShedQueueRows)
+	case s.cfg.ShedInflight > 0 && int(s.metrics.inFlight.Value()) > s.cfg.ShedInflight:
+		// The gauge already counts this request (instrument incremented
+		// it), so strictly-greater means the limit was full before us.
+		reason = fmt.Sprintf("%d requests in flight (limit %d)", int(s.metrics.inFlight.Value())-1, s.cfg.ShedInflight)
+	default:
+		return false
+	}
+	s.metrics.requestsShed.Inc()
+	// One batch window is the natural drain quantum; clients should wait
+	// at least a second before re-offering load.
+	retry := int64(1)
+	if w2 := 2 * s.cfg.BatchWindow; w2 > time.Second {
+		retry = int64(w2 / time.Second)
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(retry))
+	httpError(w, http.StatusTooManyRequests, "overloaded: %s", reason)
+	return true
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.shedRequest(w) {
+		return
+	}
 	var req topKRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -591,6 +657,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
+	if s.shedRequest(w) {
+		return
+	}
 	var req aboveRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -796,6 +865,8 @@ type statsResponse struct {
 	Batches       uint64    `json:"batches"`
 	BatchRows     uint64    `json:"batch_rows"`
 	AvgBatchRows  float64   `json:"avg_batch_rows"`
+	BatchMode     string    `json:"batch_mode"`
+	Shed          shedInfo  `json:"shed"`
 	Placement     string    `json:"placement"`
 	CostSkew      float64   `json:"cost_skew"`
 	ShardsScanned uint64    `json:"shards_scanned"`
@@ -809,6 +880,19 @@ type cacheInfo struct {
 	Misses  uint64 `json:"misses"`
 	Rows    int    `json:"rows"`
 	Entries int    `json:"entries"`
+}
+
+// shedInfo reports the admission-control configuration and effect: the
+// configured bounds (0 = disabled), requests rejected with 429 so far, the
+// current queue depth the policy acts on, and the cumulative nanoseconds
+// dispatches sat idle while a batch waited (the signal continuous batching
+// drives to zero).
+type shedInfo struct {
+	QueueRowsLimit int    `json:"queue_rows_limit"`
+	InflightLimit  int    `json:"inflight_limit"`
+	ShedTotal      uint64 `json:"shed_total"`
+	QueueRows      int64  `json:"queue_rows"`
+	DispatchIdleNS int64  `json:"dispatch_idle_ns"`
 }
 
 // coreStats mirrors lemp.Stats with JSON names. Durations come in pairs:
@@ -857,6 +941,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:       batches,
 		BatchRows:     rows,
 		AvgBatchRows:  avg,
+		BatchMode:     s.batcher.Mode().String(),
+		Shed: shedInfo{
+			QueueRowsLimit: max(0, s.cfg.ShedQueueRows),
+			InflightLimit:  max(0, s.cfg.ShedInflight),
+			ShedTotal:      uint64(s.metrics.requestsShed.Value()),
+			QueueRows:      s.batcher.PendingRows(),
+			DispatchIdleNS: int64(s.metrics.dispatchIdle.Value()),
+		},
 		Placement:     string(s.sharded.Placement()),
 		CostSkew:      s.sharded.CostSkew(),
 		ShardsScanned: s.sharded.ShardsScanned(),
