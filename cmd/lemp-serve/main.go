@@ -126,6 +126,7 @@ func main() {
 	rebalanceOnLoad := flag.Bool("rebalance-on-load", false, "with -snapshot, re-partition the restored probe set under the active placement even when shard count and strategy already match")
 	algName := flag.String("alg", "LI", "bucket algorithm: L LI LC I C TA Tree L2AP BLSH")
 	phi := flag.Int("phi", 0, "fixed focus-set size φ (0 = tuned per bucket)")
+	quantize := flag.Bool("quant", false, "int8 quantized candidate screening: prune candidates with a conservative low-precision bound before exact verification (results stay exact; ~1 byte per probe per dimension). With -snapshot, given explicitly it forces screening on or off regardless of what the snapshot persisted")
 	parallel := flag.Int("parallel", 0, "retrieval goroutines per shard (0 = NumCPU/shards, so one batch uses all cores)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "upper bound on how long requests wait to coalesce (0 disables batching)")
 	batchMax := flag.Int("batch-max", 256, "maximum query rows per combined batch")
@@ -190,7 +191,7 @@ func main() {
 		Shards:             *shards,
 		Placement:          *placementName,
 		RebalanceOnLoad:    *rebalanceOnLoad,
-		Options:            lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel},
+		Options:            lemp.Options{Algorithm: alg, Phi: *phi, Parallelism: *parallel, Quantize: *quantize},
 		BatchWindow:        *batchWindow,
 		BatchMax:           *batchMax,
 		BatchMode:          *batchMode,
@@ -241,6 +242,15 @@ func main() {
 		}
 		if !flagSet("placement") {
 			cfg.Placement = ""
+		}
+		// An explicit -quant overrides the snapshots' persisted screening
+		// state in either direction; by default they restore as written.
+		if flagSet("quant") {
+			if *quantize {
+				cfg.Quant = lemp.QuantOn
+			} else {
+				cfg.Quant = lemp.QuantOff
+			}
 		}
 		srv = loadSnapshots(*snapshotPath, cfg)
 	} else {

@@ -88,6 +88,31 @@ func TestPlacementPruneGuard(t *testing.T) {
 	}
 }
 
+// TestQuantScreenGuard pins the headline claim of the quant experiment: at
+// the highest calibrated θ of the seeded smoke workload, the int8 sidecar
+// must screen out at least 40% of the verification candidates — without
+// changing a single result entry (measureQuantAbove cross-checks every
+// row). The workload is seeded, so this is a regression guard on screening
+// effectiveness, not a flaky timing assertion.
+func TestQuantScreenGuard(t *testing.T) {
+	p, q := quantWorkload(0.1)
+	thetas := quantThetas(p, q)
+	if len(thetas) == 0 {
+		t.Fatal("smoke workload calibrated no positive θ")
+	}
+	row, err := measureQuantAbove(p, q, thetas[len(thetas)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.candidates == 0 {
+		t.Fatal("high-θ run verified no candidates; workload too small")
+	}
+	if row.screenRate < 0.40 {
+		t.Errorf("sidecar screened %.1f%% of candidates at θ=%.4f, want >= 40%%",
+			100*row.screenRate, row.theta)
+	}
+}
+
 // BenchmarkServingLoad runs the closed-loop latency-vs-load experiment
 // once per iteration; CI's bench-smoke job runs it at -benchtime=1x as the
 // serving-envelope regression canary (the run itself asserts that the

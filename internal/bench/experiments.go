@@ -11,7 +11,7 @@ import (
 var ExperimentIDs = []string{
 	"fig5", "fig6a", "fig6b", "fig7ab", "fig7cf",
 	"table2", "table3", "table4", "table5", "table6",
-	"cache", "tune", "kernels", "placement", "load",
+	"cache", "tune", "kernels", "placement", "quant", "load",
 }
 
 // Run executes one experiment by id ("all" runs every experiment) and
@@ -53,6 +53,8 @@ func (r *Runner) Run(id string) error {
 		return r.kernels()
 	case "placement":
 		return r.placement()
+	case "quant":
+		return r.quantScreening()
 	case "load":
 		return r.servingLoad()
 	default:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"lemp"
@@ -87,15 +88,11 @@ func placementWorkload(scale float64) (p, q *matrix.Matrix, theta float64) {
 	return p, q, theta
 }
 
-// quantile returns the q-th quantile of xs (destructive: sorts a copy).
+// quantile returns the q-th quantile of xs (sorts a copy; the calibration
+// sets reach millions of products at full scale).
 func quantile(xs []float64, q float64) float64 {
 	s := append([]float64(nil), xs...)
-	// Partial selection would do, but n is small at bench scales.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Float64s(s)
 	idx := int(q * float64(len(s)-1))
 	return s[idx]
 }

@@ -95,6 +95,8 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 			st.ScalarVerified += ws.ScalarVerified
 			st.ProcessedPairs += ws.ProcessedPairs
 			st.PrunedPairs += ws.PrunedPairs
+			st.QuantScreened += ws.QuantScreened
+			st.QuantSurvived += ws.QuantSurvived
 		}
 	}
 	st.RetrievalTime = time.Since(start)
@@ -136,7 +138,7 @@ func (ix *Index) aboveWorker(c *call, qs *querySet, lo, hi int, theta float64, s
 			qdir := qs.dir(qi)
 			alg, phi := ix.resolve(c.opts, b, thetaB)
 			ix.gather(b, alg, phi, int32(qi), qdir, qlen, theta, thetaB, l2T0, s)
-			ix.verifyAbove(b, qdir, qlen, theta, qs.ids[qi], s, emit, st)
+			ix.verifyAbove(b, int32(qi), qdir, qlen, theta, qs.ids[qi], s, emit, st)
 		}
 		st.ProcessedPairs += processed
 		st.PrunedPairs += nq - processed

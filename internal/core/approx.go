@@ -96,7 +96,11 @@ func (ix *Index) RowTopKApproxCtx(ctx context.Context, q *matrix.Matrix, k int, 
 		return nil, st, c.ctxErr()
 	}
 
-	// Phase 2: exact Row-Top-k' for the centroids.
+	// Phase 2: Row-Top-k' for the centroids. With a quantized sidecar
+	// active this phase runs with screenApprox set: the centroid list is
+	// only a candidate pool, so survivors keep their approximate dots and
+	// skip the exact kernels — phase 3 re-ranks every candidate with exact
+	// products, so result values stay exact either way.
 	kk := k
 	if kk > live {
 		kk = live
@@ -105,7 +109,9 @@ func (ix *Index) RowTopKApproxCtx(ctx context.Context, q *matrix.Matrix, k int, 
 	if expanded > live {
 		expanded = live
 	}
-	centroidTop, centroidStats, err := ix.RowTopKCtx(ctx, clusters.Centroids, expanded, ro)
+	roCentroid := ro
+	roCentroid.screenApprox = true
+	centroidTop, centroidStats, err := ix.RowTopKCtx(ctx, clusters.Centroids, expanded, roCentroid)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -8,6 +8,7 @@ import (
 	"lemp/internal/l2ap"
 	"lemp/internal/lsh"
 	"lemp/internal/matrix"
+	"lemp/internal/quant"
 	"lemp/internal/vecmath"
 )
 
@@ -47,6 +48,13 @@ type bucket struct {
 	// delta marks an overlay bucket (delta.go): its entries are always
 	// live, so tombstone filtering is skipped.
 	delta bool
+
+	// q8 is the int8 quantization sidecar of dirs (Options.Quantize): the
+	// conservative screen that runs ahead of exact verification. nil when
+	// quantized screening is off or the dimension exceeds quant.MaxDim.
+	// Attached right after bucketization, before the bucket is published,
+	// so it needs no synchronization.
+	q8 *quant.Rows
 }
 
 func (b *bucket) size() int { return len(b.ids) }

@@ -377,6 +377,7 @@ func (ix *Index) rebuildDelta() {
 	for _, b := range ix.delta {
 		b.delta = true
 	}
+	ix.attachSidecars(ix.delta)
 	ix.refreshScan()
 	ix.pretuneDelta()
 }
@@ -530,6 +531,7 @@ func (ix *Index) Compact() {
 	ix.pretunedOverlay = 0
 	ix.probeLocs = nil
 	ix.buckets = bucketize(probe, ix.explicitIDs(), ix.opts.ShrinkFactor, ix.opts.MinBucketSize, ix.bucketCap())
+	ix.attachSidecars(ix.buckets)
 	ix.refreshScan()
 	ix.prepTime += time.Since(start)
 	if ix.pretuned && ix.tuneProb != nil && ix.tuneSample != nil && liveN > 0 && ix.hasTunableParams() {

@@ -208,7 +208,13 @@ func TestDifferentialMutations(t *testing.T) {
 			CacheBytes:    []int{-1, 2048, 2 << 20}[rng.Intn(3)],
 			Parallelism:   1 + rng.Intn(2),
 			TuneByCost:    rng.Intn(2) == 0,
+			Quantize:      rng.Intn(2) == 0,
 		}
+		// The fresh comparison index draws Quantize independently, so the
+		// harness covers all four screening on/off combinations: quantized
+		// screening must never change exact results.
+		freshOpts := opts
+		freshOpts.Quantize = rng.Intn(2) == 0
 
 		model := &probeModel{vecs: make(map[int32][]float64)}
 		p := matrix.New(r, n0)
@@ -242,7 +248,7 @@ func TestDifferentialMutations(t *testing.T) {
 					qOld := matrix.New(r, 1)
 					copy(qOld.Vec(0), randVec(rng, r))
 					checkEqual(t, fmt.Sprintf("seq %d step %d (pre-COW)", seq, step),
-						ix, preModel.freshIndex(t, r, opts), qOld, 4)
+						ix, preModel.freshIndex(t, r, freshOpts), qOld, 4)
 				}
 				ix = derived
 			} else {
@@ -273,7 +279,7 @@ func TestDifferentialMutations(t *testing.T) {
 					copy(q.Vec(i), randVec(rng, r))
 				}
 				k := []int{1, 3, 10, len(model.vecs) + 5}[rng.Intn(4)]
-				fresh := model.freshIndex(t, r, opts)
+				fresh := model.freshIndex(t, r, freshOpts)
 				checkEqual(t, fmt.Sprintf("seq %d step %d", seq, step), ix, fresh, q, k)
 				checks++
 			}

@@ -9,6 +9,7 @@ import (
 
 	"lemp/internal/lsh"
 	"lemp/internal/matrix"
+	"lemp/internal/quant"
 	"lemp/internal/retrieval"
 )
 
@@ -118,6 +119,7 @@ func NewIndexWithIDs(p *matrix.Matrix, ids []int32, opts Options) (*Index, error
 	ix := &Index{opts: opts, r: p.R(), n: p.N(), probe: p, id: indexSeq.Add(1)}
 	ix.setIDs(ids)
 	ix.buckets = bucketize(p, ix.explicitIDs(), opts.ShrinkFactor, opts.MinBucketSize, ix.bucketCap())
+	ix.attachSidecars(ix.buckets)
 	ix.refreshScan()
 	ix.nextID = maxIDPlusOne(ix)
 	ix.prepTime = time.Since(start)
@@ -308,13 +310,16 @@ func (ix *Index) gather(b *bucket, alg Algorithm, phi int, qi int32, qdir []floa
 // verifyAbove computes exact inner products for the candidates of one
 // (query, bucket) pair and emits entries passing θ (line 16 of Algorithm 1).
 // Tombstoned main-bucket entries are dropped before the blocked dot-product
-// pass (verify.go); the θ filter runs over the block results. Each emitted
-// value is (q̄ᵀp̄)·‖q‖·‖p‖, multiplied in the same order as the scalar
-// verifier, so results are byte-identical to the per-candidate Dot path.
-func (ix *Index) verifyAbove(b *bucket, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
+// pass (verify.go), then the quantized screen (when a sidecar is active)
+// discards candidates that provably cannot reach θ; the θ filter runs over
+// the block results. Each emitted value is (q̄ᵀp̄)·‖q‖·‖p‖, multiplied in the
+// same order as the scalar verifier, so results are byte-identical to the
+// per-candidate Dot path.
+func (ix *Index) verifyAbove(b *bucket, qi int32, qdir []float64, qlen, theta float64, origID int32, s *scratch, emit retrieval.Sink, st *Stats) {
 	st.Candidates += int64(len(s.cand))
 	s.work += int64(len(s.cand)) * int64(b.r)
 	ix.compactLiveCands(b, s)
+	ix.screenCands(b, s, qi, qdir, qlen, theta, false, st)
 	verifyDots(b, qdir, s, st)
 	for i, lid := range s.cand {
 		v := s.vals[i] * qlen * b.lens[lid]
@@ -323,6 +328,33 @@ func (ix *Index) verifyAbove(b *bucket, qdir []float64, qlen, theta float64, ori
 			emit(retrieval.Entry{Query: int(origID), Probe: int(b.ids[lid]), Value: v})
 		}
 	}
+}
+
+// attachSidecars quantizes the directions of freshly bucketized buckets
+// into their int8 screening sidecars (Options.Quantize). Buckets that
+// already carry one — restored from a snapshot, say — are left alone.
+// Runs before the buckets are published to any retrieval call, so no
+// synchronization is needed. Dimensions outside [1, quant.MaxDim] leave
+// every sidecar nil, silently disabling screening.
+func (ix *Index) attachSidecars(buckets []*bucket) {
+	if !ix.opts.Quantize || ix.r < 1 || ix.r > quant.MaxDim {
+		return
+	}
+	for _, b := range buckets {
+		if b.q8 == nil {
+			b.q8 = quant.QuantizeRows(b.dirs, b.r)
+		}
+	}
+}
+
+// SidecarBytes returns the memory held by the quantized screening sidecars
+// across all scanned buckets (0 when Options.Quantize is off).
+func (ix *Index) SidecarBytes() int {
+	total := 0
+	for _, b := range ix.scan {
+		total += b.q8.Bytes()
+	}
+	return total
 }
 
 // countIndexedBuckets fills the lazy-index statistic after a run.

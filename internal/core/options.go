@@ -137,6 +137,17 @@ type Options struct {
 	Epsilon float64
 	// Seed drives the BLSH hyperplanes (default 1).
 	Seed int64
+	// Quantize maintains an int8 sidecar of every bucket's directions
+	// (internal/quant) and screens verification candidates with a cheap
+	// approximate dot plus a conservative error bound before the exact f64
+	// kernels run. Exact results are unchanged — the bound is conservative,
+	// so only candidates that provably cannot reach the threshold are
+	// skipped; the Approx retrieval mode additionally skips the exact
+	// fall-through for survivors. Costs ~n·r bytes of sidecar per index
+	// (about 1/8 of the probe directions) plus quantization time on build,
+	// mutation and compaction. Dimensions above quant.MaxDim silently
+	// disable screening.
+	Quantize bool
 }
 
 // hasTunableParams reports whether the options' algorithm has per-bucket

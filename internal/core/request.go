@@ -29,6 +29,13 @@ type RunOptions struct {
 	// version, eliminating the per-call sample-tuning cost that dominates
 	// small serving batches. See TuningCache.
 	Cache *TuningCache
+
+	// screenApprox lets quantized screening survivors adopt their
+	// approximate dot instead of falling through to the exact kernels.
+	// Only the Approx retrieval mode sets it (for its centroid phase —
+	// the final re-rank stays exact); it is deliberately unexported so
+	// exact drivers cannot be switched into approximate mode from outside.
+	screenApprox bool
 }
 
 // effOptions resolves the per-call effective options: the index's defaults
@@ -55,12 +62,13 @@ func (ix *Index) effOptions(ro RunOptions) (Options, error) {
 // cancellation aborts the scan promptly), the effective options, and the
 // request trace (if any) for phase spans.
 type call struct {
-	opts  Options
-	cache *TuningCache
-	done  <-chan struct{} // ctx.Done(); nil for context.Background()
-	err   func() error    // ctx.Err
-	tr    *obs.Trace      // request trace; nil when untraced
-	span  obs.SpanRef     // parent span for this call's phase spans
+	opts   Options
+	cache  *TuningCache
+	approx bool            // RunOptions.screenApprox: survivors keep approximate dots
+	done   <-chan struct{} // ctx.Done(); nil for context.Background()
+	err    func() error    // ctx.Err
+	tr     *obs.Trace      // request trace; nil when untraced
+	span   obs.SpanRef     // parent span for this call's phase spans
 }
 
 // newCall binds a context and effective options into a call. A trace

@@ -47,6 +47,7 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 		return nil, Stats{}, err
 	}
 	c := newCall(ctx, opts, ro.Cache)
+	c.approx = ro.screenApprox
 	st := Stats{Queries: q.N(), Buckets: len(ix.scan), PrepTime: ix.prepTime}
 	out := make(retrieval.TopK, q.N())
 	qs := prepareQueries(q)
@@ -92,6 +93,8 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 			st.ScalarVerified += ws.ScalarVerified
 			st.ProcessedPairs += ws.ProcessedPairs
 			st.PrunedPairs += ws.PrunedPairs
+			st.QuantScreened += ws.QuantScreened
+			st.QuantSurvived += ws.QuantSurvived
 		}
 	}
 	st.RetrievalTime = time.Since(start)
@@ -161,12 +164,18 @@ func (ix *Index) topkWorker(c *call, qs *querySet, lo, hi, k int, s *scratch, ou
 			ix.gather(b, alg, phi, int32(qi), qdir, 1, theta, thetaB, 0, s)
 			st.Candidates += int64(len(s.cand))
 			s.work += int64(len(s.cand)) * int64(ix.r)
-			// Blocked verification (verify.go): drop tombstones, compute
-			// the block dot products, then apply the heap per block
-			// result. v = (q̄ᵀp̄)·‖p‖ exactly as the scalar path computed
-			// it.
+			// Blocked verification (verify.go): drop tombstones, screen
+			// against the current heap floor when a sidecar is active
+			// (theta is -Inf until the heap fills, so nothing screens
+			// before the seed; Push drops values ≤ floor, so strict-<
+			// screening is byte-safe), compute the block dot products,
+			// then apply the heap per block result. v = (q̄ᵀp̄)·‖p‖ exactly
+			// as the scalar path computed it; in Approx mode v is the
+			// quantized estimate and the exact kernels are skipped.
 			ix.compactLiveCands(b, s)
-			verifyDots(b, qdir, s, st)
+			if !ix.screenCands(b, s, int32(qi), qdir, 1, theta, c.approx, st) {
+				verifyDots(b, qdir, s, st)
+			}
 			for i, lid := range s.cand {
 				heap.Push(int(b.ids[lid]), s.vals[i]*b.lens[lid])
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"lemp/internal/l2ap"
+	"lemp/internal/quant"
 )
 
 // scratch holds all per-worker mutable state so the retrieval phase does no
@@ -40,6 +41,11 @@ type scratch struct {
 	sigQuery int32  // query (sorted index) whose BLSH signature is cached
 	sig      uint64 // cached query signature
 
+	q8codes []int8      // quantized-query code buffer, len r
+	q8q     quant.Query // cached quantized query (codes alias q8codes)
+	q8qi    int32       // query (sorted index) the cache holds, -1 when empty
+	q8ok    bool        // whether that query quantized cleanly
+
 	work int64 // deterministic cost counter for TuneByCost
 
 	// Sizing the scratch was built for, checked when a pooled scratch is
@@ -70,6 +76,8 @@ func newScratch(maxBucket, r int) *scratch {
 		rangeEnd:   make([]int, r),
 		l2:         l2ap.NewScratch(maxBucket, r),
 		sigQuery:   -1,
+		q8codes:    make([]int8, r),
+		q8qi:       -1,
 		maxBucket:  maxBucket,
 		r:          r,
 	}
@@ -85,9 +93,11 @@ func (ix *Index) getScratch() *scratch {
 		s := v.(*scratch)
 		if s.maxBucket >= ix.maxBucket && s.r == ix.r {
 			// Per-call caches must not leak across calls: the BLSH
-			// signature is keyed by a query index whose meaning is
-			// call-local, and the cost counter restarts per call.
+			// signature and the quantized query are keyed by a query index
+			// whose meaning is call-local, and the cost counter restarts
+			// per call.
 			s.sigQuery = -1
+			s.q8qi = -1
 			s.work = 0
 			return s
 		}
@@ -97,6 +107,18 @@ func (ix *Index) getScratch() *scratch {
 
 // putScratch returns a scratch to the pool once its worker is done.
 func (ix *Index) putScratch(s *scratch) { ix.scratchPool.Put(s) }
+
+// quantQuery returns whether the quantized form of query qi (sorted index,
+// direction qdir) is usable for screening, quantizing it into the scratch's
+// code buffer on first use — the same keyed per-call cache as the BLSH
+// signature, so a query crossing many buckets quantizes once.
+func (s *scratch) quantQuery(qi int32, qdir []float64) bool {
+	if s.q8qi != qi {
+		s.q8qi = qi
+		s.q8q, s.q8ok = quant.QuantizeQuery(s.q8codes, qdir)
+	}
+	return s.q8ok
+}
 
 // selectFocus fills s.focus with the φ coordinates of q̄ having the largest
 // absolute values (§4.2: large coordinates give the smallest feasible

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"lemp/internal/matrix"
+	"lemp/internal/quant"
 )
 
 // State is the serializable snapshot of an Index: the probe matrix, the
@@ -75,6 +77,18 @@ type BucketState struct {
 	// hand-edited list index fails to load rather than mis-pruning.
 	ListVals []float64
 	ListLids []int32
+
+	// Quantized screening sidecar (internal/quant, persisted as the
+	// snapshot QNT8 section): per-row scales, int8 codes (len(IDs) × r,
+	// row-major) and residual-norm bounds, or all nil when the bucket
+	// carries no sidecar. Like the sorted lists, FromState verifies the
+	// arrays are exactly what QuantizeRows would produce from Dirs —
+	// quantization is deterministic — so a corrupted sidecar fails to load
+	// rather than silently screening wrong candidates. The dequantized-norm
+	// array is recomputed on load, not persisted.
+	QuantScales []float64
+	QuantCodes  []int8
+	QuantResid  []float64
 }
 
 // State exports the index's serializable state. The contained slices alias
@@ -123,6 +137,11 @@ func (ix *Index) State() *State {
 		if b.lists != nil {
 			st.Buckets[i].ListVals = b.lists.vals
 			st.Buckets[i].ListLids = b.lists.lids
+		}
+		if b.q8 != nil {
+			st.Buckets[i].QuantScales = b.q8.Scales
+			st.Buckets[i].QuantCodes = b.q8.Codes
+			st.Buckets[i].QuantResid = b.q8.Resid
 		}
 	}
 	return st
@@ -274,6 +293,29 @@ func FromState(st *State) (*Index, error) {
 			}
 			b.lists = &sortedLists{n: size, vals: bs.ListVals, lids: bs.ListLids}
 		}
+		if bs.QuantScales != nil || bs.QuantCodes != nil || bs.QuantResid != nil {
+			if !opts.Quantize {
+				return nil, fmt.Errorf("core: bucket %d carries a quantized sidecar but Options.Quantize is off", i)
+			}
+			if r < 1 || r > quant.MaxDim {
+				return nil, fmt.Errorf("core: bucket %d quantized sidecar at unsupported dimension %d", i, r)
+			}
+			if len(bs.QuantScales) != size || len(bs.QuantResid) != size || len(bs.QuantCodes) != size*r {
+				return nil, fmt.Errorf("core: bucket %d quantized sidecar shape mismatch: %d scales, %d resid, %d codes (size=%d, r=%d)",
+					i, len(bs.QuantScales), len(bs.QuantResid), len(bs.QuantCodes), size, r)
+			}
+			// Quantization is deterministic, so the persisted sidecar must
+			// be exactly what QuantizeRows produces from the (already
+			// validated) directions — anything else is corruption that
+			// would make screening unsound.
+			q8 := quant.QuantizeRows(bs.Dirs, r)
+			if !slices.Equal(q8.Scales, bs.QuantScales) ||
+				!slices.Equal(q8.Codes, bs.QuantCodes) ||
+				!slices.Equal(q8.Resid, bs.QuantResid) {
+				return nil, fmt.Errorf("core: bucket %d quantized sidecar does not match its directions", i)
+			}
+			b.q8 = q8
+		}
 		ix.buckets[i] = b
 		if size > ix.maxBucket {
 			ix.maxBucket = size
@@ -283,6 +325,9 @@ func FromState(st *State) (*Index, error) {
 		return nil, fmt.Errorf("core: buckets hold %d probes, probe matrix has %d", total, n)
 	}
 	ix.setIDs(st.IDs)
+	// Quantize on but no (or only some) persisted sidecars — a pre-quant
+	// snapshot loaded with screening requested: quantize the missing ones.
+	ix.attachSidecars(ix.buckets)
 	ix.refreshScan()
 	ix.nextID = maxIDPlusOne(ix)
 	if st.NextID > ix.nextID {

@@ -30,6 +30,15 @@ type Stats struct {
 	ProcessedPairs int64
 	PrunedPairs    int64
 
+	// QuantScreened and QuantSurvived split the candidates that reached an
+	// active quantized screen (Options.Quantize): screened ones were
+	// discarded by the conservative int8 bound without touching their f64
+	// row, survived ones fell through to the exact kernels (or, in Approx
+	// mode, adopted their approximate value). Both stay 0 when no sidecar
+	// is active.
+	QuantScreened int64
+	QuantSurvived int64
+
 	// IndexedBuckets counts buckets whose sorted-list (or tree, L2AP,
 	// signature) index was actually built — LEMP builds lazily (§4.2).
 	IndexedBuckets int
@@ -73,6 +82,8 @@ func (s *Stats) Add(o Stats) {
 	s.ScalarVerified += o.ScalarVerified
 	s.ProcessedPairs += o.ProcessedPairs
 	s.PrunedPairs += o.PrunedPairs
+	s.QuantScreened += o.QuantScreened
+	s.QuantSurvived += o.QuantSurvived
 	s.Tunings += o.Tunings
 	s.TuneCacheHits += o.TuneCacheHits
 	if o.Buckets > s.Buckets {

@@ -1,0 +1,67 @@
+package quant_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lemp/internal/quant"
+)
+
+// Microbenchmarks for the screening hot path: the per-row cost of Screen8
+// (batched head dot + fused cutoff predicate) is what the verifier pays per
+// screened candidate, and UB8 is the same dot without the fused predicate.
+// The full-dot kernels (DotQ8, ApproxBound) have benches in quant_test.go.
+// Reported as ns/row for cross-run comparison.
+
+const benchR, benchN = 100, 4096
+
+func benchRows(tb testing.TB) (*quant.Rows, quant.Query) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(9))
+	rows := make([]float64, benchN*benchR)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	q := make([]float64, benchR)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	qr := quant.QuantizeRows(rows, benchR)
+	qq, ok := quant.QuantizeQuery(make([]int8, benchR), q)
+	if !ok {
+		tb.Fatal("query failed to quantize")
+	}
+	return qr, qq
+}
+
+func BenchmarkScreenUB8(b *testing.B) {
+	qr, qq := benchRows(b)
+	scr := qr.NewScreen(qq, 1)
+	var dh [8]int32
+	var ub [8]float64
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i * 8) % (benchN - 8)
+		scr.UB8(base, base+1, base+2, base+3, base+4, base+5, base+6, base+7, &dh, &ub)
+		sink += ub[0]
+	}
+	_ = sink
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8, "ns/row")
+}
+
+func BenchmarkScreen8(b *testing.B) {
+	qr, qq := benchRows(b)
+	scr := qr.NewScreen(qq, 1)
+	var dh [8]int32
+	lens := [8]float64{1, 0.5, 2, 1.5, 0.8, 1.2, 0.9, 1.1}
+	var sink uint8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i * 8) % (benchN - 8)
+		sink ^= scr.Screen8(base, base+1, base+2, base+3, base+4, base+5, base+6, base+7,
+			&lens, 10, &dh)
+	}
+	_ = sink
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8, "ns/row")
+}

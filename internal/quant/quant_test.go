@@ -1,0 +1,542 @@
+package quant_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lemp/internal/quant"
+	"lemp/internal/vecmath"
+)
+
+// naiveDotQ8 is the reference for the unrolled kernel.
+func naiveDotQ8(a, b []int8) int32 {
+	var s int32
+	for i := range a {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+func TestDotQ8MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 100, 257} {
+		a := make([]int8, r)
+		b := make([]int8, r)
+		for trial := 0; trial < 20; trial++ {
+			for i := range a {
+				a[i] = int8(rng.Intn(255) - 127)
+				b[i] = int8(rng.Intn(255) - 127)
+			}
+			if got, want := quant.DotQ8(a, b), naiveDotQ8(a, b); got != want {
+				t.Fatalf("r=%d: DotQ8 = %d, naive = %d", r, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedKernelsMatchScalar: DotQ8x4 and ApproxBound4 exist only for
+// speed — every batched result must be bit-identical to the scalar call.
+func TestBatchedKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, r := range []int{1, 3, 4, 8, 16, 33, 64} {
+		rows := make([]float64, 8*r)
+		q := make([]float64, r)
+		for trial := 0; trial < 10; trial++ {
+			for i := range rows {
+				rows[i] = rng.NormFloat64() * math.Exp(3*rng.NormFloat64())
+			}
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			qr := quant.QuantizeRows(rows, r)
+			qq, ok := quant.QuantizeQuery(make([]int8, r), q)
+			if !ok {
+				t.Fatalf("r=%d: query did not quantize", r)
+			}
+			var d [4]int32
+			quant.DotQ8x4(qq.Codes, qr.Row(4), qr.Row(1), qr.Row(7), qr.Row(2), &d)
+			for j, i := range [4]int{4, 1, 7, 2} {
+				if want := quant.DotQ8(qq.Codes, qr.Row(i)); d[j] != want {
+					t.Fatalf("r=%d: DotQ8x4[%d] = %d, DotQ8 = %d", r, j, d[j], want)
+				}
+			}
+			var ap, bd [4]float64
+			qr.ApproxBound4(qq, 3, 0, 6, 5, &ap, &bd)
+			for j, i := range [4]int{3, 0, 6, 5} {
+				wantA, wantB := qr.ApproxBound(qq, i)
+				if ap[j] != wantA || bd[j] != wantB {
+					t.Fatalf("r=%d row %d: ApproxBound4 = (%v, %v), ApproxBound = (%v, %v)",
+						r, i, ap[j], bd[j], wantA, wantB)
+				}
+			}
+			scr := qr.NewScreen(qq, 1)
+			var dh [4]int32
+			var ub [4]float64
+			scr.UB4(2, 6, 0, 7, &dh, &ub)
+			for j, i := range [4]int{2, 6, 0, 7} {
+				wantH, wantU := scr.UB(i)
+				if dh[j] != wantH || ub[j] != wantU {
+					t.Fatalf("r=%d row %d: UB4 = (%d, %v), UB = (%d, %v)",
+						r, i, dh[j], ub[j], wantH, wantU)
+				}
+			}
+			var dh8 [8]int32
+			var ub8 [8]float64
+			scr.UB8(5, 2, 7, 0, 3, 6, 1, 4, &dh8, &ub8)
+			for j, i := range [8]int{5, 2, 7, 0, 3, 6, 1, 4} {
+				wantH, wantU := scr.UB(i)
+				if dh8[j] != wantH || ub8[j] != wantU {
+					t.Fatalf("r=%d row %d: UB8 = (%d, %v), UB = (%d, %v)",
+						r, i, dh8[j], ub8[j], wantH, wantU)
+				}
+			}
+			// Screen8's fused predicate must reach the same screen/survive
+			// decision as UB followed by the caller-side multiply, across
+			// cutoffs that land inside and outside the bound range.
+			lens := [8]float64{0.3, 1.7, 0, 2.4, 0.9, 5.1, 1.0, 0.04}
+			for _, cut := range []float64{-10, -0.1, 0, 0.1, 1, 10, math.Inf(1)} {
+				var sdh [8]int32
+				mask := scr.Screen8(5, 2, 7, 0, 3, 6, 1, 4, &lens, cut, &sdh)
+				if sdh != dh8 {
+					t.Fatalf("r=%d: Screen8 head dots %v, UB8 %v", r, sdh, dh8)
+				}
+				for j, i := range [8]int{5, 2, 7, 0, 3, 6, 1, 4} {
+					_, u := scr.UB(i)
+					want := uint8(1)
+					if u*lens[j] < cut {
+						want = 0
+					}
+					if got := (mask >> j) & 1; got != want {
+						t.Fatalf("r=%d row %d cut %v: Screen8 keep = %d, UB predicate = %d",
+							r, i, cut, got, want)
+					}
+				}
+				lens4 := [4]float64{lens[0], lens[1], lens[2], lens[3]}
+				var sdh4 [4]int32
+				mask4 := scr.Screen4(5, 2, 7, 0, &lens4, cut, &sdh4)
+				if [4]int32{sdh[0], sdh[1], sdh[2], sdh[3]} != sdh4 {
+					t.Fatalf("r=%d: Screen4 head dots %v, Screen8 %v", r, sdh4, sdh)
+				}
+				if mask4 != mask&0x0f {
+					t.Fatalf("r=%d cut %v: Screen4 mask %04b, Screen8 low bits %04b",
+						r, cut, mask4, mask&0x0f)
+				}
+			}
+		}
+	}
+}
+
+func TestDotQ8SaturationNoOverflow(t *testing.T) {
+	// The extreme case the int32 contract is sized for: every product is
+	// 127·127 at the maximal supported dimension.
+	r := quant.MaxDim
+	a := make([]int8, r)
+	b := make([]int8, r)
+	for i := range a {
+		a[i], b[i] = 127, 127
+	}
+	want := int64(127*127) * int64(r)
+	if want > math.MaxInt32 {
+		t.Fatalf("MaxDim contract broken: %d products overflow int32", r)
+	}
+	if got := quant.DotQ8(a, b); int64(got) != want {
+		t.Fatalf("DotQ8 at saturation = %d, want %d", got, want)
+	}
+	for i := range b {
+		b[i] = -127
+	}
+	if got := quant.DotQ8(a, b); int64(got) != -want {
+		t.Fatalf("DotQ8 at negative saturation = %d, want %d", got, -want)
+	}
+}
+
+// checkBracket asserts the screening contract for one (query, panel) pair:
+// for every row, approx−bound ≤ Dot(q, row) ≤ approx+bound, where Dot is the
+// exact float64 kernel the verifier runs. Non-finite rows must report an
+// infinite bound (never screened). Returns false on violation.
+func checkBracket(t *testing.T, q, rows []float64, r int) bool {
+	t.Helper()
+	qr := quant.QuantizeRows(rows, r)
+	dst := make([]int8, r)
+	qq, ok := quant.QuantizeQuery(dst, q)
+	if !ok {
+		// Unquantizable query: screening is off entirely; nothing to check.
+		return true
+	}
+	scr := qr.NewScreen(qq, 1)
+	// A second screen with a nontrivial emit factor: its bound must cover
+	// the emit-scaled dot in the caller's multiply order.
+	const emit = 2.5
+	scrE := qr.NewScreen(qq, emit)
+	for i := 0; i < qr.N(); i++ {
+		approx, bound := qr.ApproxBound(qq, i)
+		row := rows[i*r : (i+1)*r]
+		exact := vecmath.Dot(q, row)
+		head, ub := scr.UB(i)
+		if _, ubE := scrE.UB(i); !math.IsNaN(exact) && emit*exact > ubE {
+			t.Errorf("row %d: emit-folded bound %v below %v·exact = %v", i, ubE, emit, emit*exact)
+			return false
+		}
+		if fa, fb := qr.FinishApproxBound(qq, i, head); fa != approx || fb != bound {
+			t.Errorf("row %d: FinishApproxBound (%v, %v) != ApproxBound (%v, %v)",
+				i, fa, fb, approx, bound)
+			return false
+		}
+		if !math.IsNaN(exact) && exact > ub {
+			t.Errorf("row %d: checkpoint bound %v below exact dot %v", i, ub, exact)
+			return false
+		}
+		if math.IsInf(bound, 1) {
+			continue // never screened: contract holds vacuously
+		}
+		finite := true
+		for _, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				finite = false
+			}
+		}
+		if !finite {
+			t.Errorf("non-finite row %d got finite bound %v", i, bound)
+			return false
+		}
+		if !(approx-bound <= exact && exact <= approx+bound) {
+			t.Errorf("row %d: exact %v outside [%v, %v] (approx %v, bound %v)",
+				i, exact, approx-bound, approx+bound, approx, bound)
+			return false
+		}
+	}
+	return true
+}
+
+func TestApproxBoundBracketsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Values spanning many magnitudes: quick's default float64 generator
+	// only produces moderate values, so draw mantissa and exponent
+	// separately to reach subnormals, huge values and saturation edges.
+	genVal := func() float64 {
+		switch rng.Intn(8) {
+		case 0:
+			return 0
+		case 1:
+			return float64(rng.Intn(255) - 127) // exact int8 lattice points
+		default:
+			return (rng.Float64()*2 - 1) * math.Pow(2, float64(rng.Intn(600)-300))
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		r := 1 + rng.Intn(48)
+		n := 1 + rng.Intn(6)
+		rows := make([]float64, n*r)
+		q := make([]float64, r)
+		for i := range rows {
+			rows[i] = genVal()
+		}
+		for i := range q {
+			q[i] = genVal()
+		}
+		if !checkBracket(t, q, rows, r) {
+			t.Fatalf("trial %d (r=%d, n=%d) violated the bracket", trial, r, n)
+		}
+	}
+}
+
+func TestApproxBoundQuickRandom(t *testing.T) {
+	// testing/quick over its own generator as a second, independent source
+	// of inputs (moderate magnitudes, adversarial bit patterns).
+	f := func(qv, rv [16]float64) bool {
+		return checkBracket(t, qv[:], rv[:], 16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxBoundAdversarialRows(t *testing.T) {
+	r := 8
+	mk := func(v float64) []float64 {
+		row := make([]float64, r)
+		for i := range row {
+			row[i] = v
+		}
+		return row
+	}
+	cases := [][]float64{
+		mk(0),                           // zero row
+		mk(1),                           // constant row
+		mk(-1),                          // negative constant
+		mk(127),                         // int8 saturation value
+		mk(127.5),                       // rounds past the lattice
+		mk(math.MaxFloat64),             // scale at the float ceiling
+		mk(math.SmallestNonzeroFloat64), // subnormal row
+		mk(1e-300),                      // near the tiny slack
+		mk(1e300),                       // huge but finite
+		{1, -1, 127, -127, 0.5, -0.5, 126.9999, -0.0001},
+		{math.MaxFloat64, -math.MaxFloat64, 1, -1, 0, 0, 0, 0},
+	}
+	rows := make([]float64, 0, len(cases)*r)
+	for _, c := range cases {
+		rows = append(rows, c...)
+	}
+	queries := [][]float64{
+		mk(0), mk(1), mk(-1), mk(0.007),
+		{1, 2, 3, 4, -4, -3, -2, -1},
+		mk(1e-200), mk(1e200),
+	}
+	for _, q := range queries {
+		if !checkBracket(t, q, rows, r) {
+			t.Fatalf("adversarial case violated the bracket for query %v", q[:2])
+		}
+	}
+}
+
+func TestNonFiniteRowsNeverScreened(t *testing.T) {
+	r := 4
+	rows := []float64{
+		1, 2, 3, 4,
+		math.NaN(), 1, 1, 1,
+		math.Inf(1), 0, 0, 0,
+		0, math.Inf(-1), 0, 0,
+	}
+	qr := quant.QuantizeRows(rows, r)
+	if !math.IsInf(qr.Resid[1], 1) || !math.IsInf(qr.Resid[2], 1) || !math.IsInf(qr.Resid[3], 1) {
+		t.Fatalf("non-finite rows must carry infinite residuals, got %v", qr.Resid)
+	}
+	dst := make([]int8, r)
+	qq, ok := quant.QuantizeQuery(dst, []float64{1, 1, 1, 1})
+	if !ok {
+		t.Fatal("finite query failed to quantize")
+	}
+	for i := 1; i < 4; i++ {
+		approx, bound := qr.ApproxBound(qq, i)
+		if approx != 0 || !math.IsInf(bound, 1) {
+			t.Fatalf("row %d: want (0, +Inf), got (%v, %v)", i, approx, bound)
+		}
+		// The screening predicate "upper bound < cut" must be false for
+		// every cut, including +Inf and NaN.
+		for _, cut := range []float64{-1, 0, 1e300, math.Inf(1)} {
+			if approx+bound < cut {
+				t.Fatalf("row %d screened at cut %v", i, cut)
+			}
+		}
+	}
+}
+
+func TestNonFiniteQueryDisablesScreening(t *testing.T) {
+	r := 4
+	dst := make([]int8, r)
+	for _, q := range [][]float64{
+		{math.NaN(), 0, 0, 0},
+		{math.Inf(1), 1, 1, 1},
+		{1, math.Inf(-1), 1, 1},
+	} {
+		if _, ok := quant.QuantizeQuery(dst, q); ok {
+			t.Fatalf("non-finite query %v must not quantize", q)
+		}
+	}
+	if _, ok := quant.QuantizeQuery(nil, nil); ok {
+		t.Fatal("empty query must not quantize")
+	}
+}
+
+func TestQuantizeRowsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, n := 24, 50
+	rows := make([]float64, n*r)
+	for i := range rows {
+		rows[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+	}
+	a := quant.QuantizeRows(rows, r)
+	b := quant.QuantizeRows(rows, r)
+	for i := range a.Scales {
+		if a.Scales[i] != b.Scales[i] || a.Resid[i] != b.Resid[i] || a.Norm[i] != b.Norm[i] {
+			t.Fatalf("row %d: quantization not deterministic", i)
+		}
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatalf("code %d differs across runs", i)
+		}
+	}
+}
+
+func TestRowsAccessors(t *testing.T) {
+	rows := []float64{1, 2, 3, 4, 5, 6}
+	qr := quant.QuantizeRows(rows, 3)
+	if qr.R() != 3 || qr.N() != 2 {
+		t.Fatalf("R/N = %d/%d, want 3/2", qr.R(), qr.N())
+	}
+	if len(qr.Row(1)) != 3 {
+		t.Fatalf("Row(1) len %d", len(qr.Row(1)))
+	}
+	wantBytes := 6 + 8*(2+2+2+2+2*2)
+	if qr.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", qr.Bytes(), wantBytes)
+	}
+	var nilRows *quant.Rows
+	if nilRows.Bytes() != 0 {
+		t.Fatal("nil Rows must report 0 bytes")
+	}
+}
+
+func TestQuantizeRowsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero dim", func() { quant.QuantizeRows(nil, 0) }},
+		{"over MaxDim", func() { quant.QuantizeRows(make([]float64, quant.MaxDim+1), quant.MaxDim+1) }},
+		{"ragged", func() { quant.QuantizeRows(make([]float64, 7), 3) }},
+		{"dotq8 len", func() { quant.DotQ8(make([]int8, 3), make([]int8, 4)) }},
+		{"query buf", func() { quant.QuantizeQuery(make([]int8, 2), make([]float64, 3)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestScreeningIsUseful(t *testing.T) {
+	// The bound must not only be sound but tight enough to screen: for a
+	// well-scaled catalog, a candidate whose true dot is far below a
+	// threshold must actually be screenable.
+	rng := rand.New(rand.NewSource(4))
+	r := 32
+	n := 256
+	rows := make([]float64, n*r)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	// Normalize rows to unit length, like core quantizes bucket directions.
+	for i := 0; i < n; i++ {
+		row := rows[i*r : (i+1)*r]
+		vecmath.Normalize(row, row)
+	}
+	qr := quant.QuantizeRows(rows, r)
+	q := make([]float64, r)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	vecmath.Normalize(q, q)
+	dst := make([]int8, r)
+	qq, ok := quant.QuantizeQuery(dst, q)
+	if !ok {
+		t.Fatal("unit query failed to quantize")
+	}
+	theta := 0.5 // high threshold for unit vectors: most dots are far below
+	screened := 0
+	for i := 0; i < n; i++ {
+		approx, bound := qr.ApproxBound(qq, i)
+		if approx+bound < theta {
+			screened++
+			if exact := vecmath.Dot(q, rows[i*r:(i+1)*r]); exact >= theta {
+				t.Fatalf("row %d screened but exact dot %v ≥ θ", i, exact)
+			}
+		}
+	}
+	if screened < n/2 {
+		t.Fatalf("bound too loose: only %d/%d unit rows screened at θ=%v", screened, n, theta)
+	}
+}
+
+func BenchmarkDotQ8(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		x := make([]int8, r)
+		y := make([]int8, r)
+		rng := rand.New(rand.NewSource(5))
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+			y[i] = int8(rng.Intn(255) - 127)
+		}
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.SetBytes(int64(2 * r))
+			var sink int32
+			for i := 0; i < b.N; i++ {
+				sink += quant.DotQ8(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkDotQ8x4(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(5))
+		q := make([]int8, r)
+		rows := make([]int8, 4*r)
+		for i := range q {
+			q[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range rows {
+			rows[i] = int8(rng.Intn(255) - 127)
+		}
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.SetBytes(int64(5 * r))
+			var out [4]int32
+			for i := 0; i < b.N; i++ {
+				quant.DotQ8x4(q, rows[0:r], rows[r:2*r], rows[2*r:3*r], rows[3*r:4*r], &out)
+			}
+			_ = out
+		})
+	}
+}
+
+func BenchmarkApproxBound4(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(6))
+		n := 1024
+		rows := make([]float64, n*r)
+		for i := range rows {
+			rows[i] = rng.NormFloat64()
+		}
+		qr := quant.QuantizeRows(rows, r)
+		q := make([]float64, r)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		qq, _ := quant.QuantizeQuery(make([]int8, r), q)
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			var ap, bd [4]float64
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				j := (i * 4) % (n - 4)
+				qr.ApproxBound4(qq, j, j+1, j+2, j+3, &ap, &bd)
+				sink += ap[0] + bd[3]
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkApproxBound(b *testing.B) {
+	for _, r := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(6))
+		n := 1024
+		rows := make([]float64, n*r)
+		for i := range rows {
+			rows[i] = rng.NormFloat64()
+		}
+		qr := quant.QuantizeRows(rows, r)
+		q := make([]float64, r)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		dst := make([]int8, r)
+		qq, _ := quant.QuantizeQuery(dst, q)
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				a, bd := qr.ApproxBound(qq, i%n)
+				sink += a + bd
+			}
+			_ = sink
+		})
+	}
+}

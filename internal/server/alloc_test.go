@@ -65,6 +65,51 @@ func TestServerSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestServerQuantSteadyStateAllocs is TestServerSteadyStateAllocs with the
+// int8 screening sidecar active: quantizing the query (cached in scratch)
+// and screening every candidate must stay off the per-candidate allocation
+// budget.
+func TestServerQuantSteadyStateAllocs(t *testing.T) {
+	q, p := data.Smoke.Generate()
+	sh, err := NewSharded(p, 2, lemp.Options{Parallelism: 1, Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.SidecarBytes() == 0 {
+		t.Fatal("Quantize build attached no sidecar")
+	}
+	batch := q.Head(16)
+	const k = 10
+	view := sh.CurrentView()
+	if _, _, err := view.TopK(batch, k); err != nil { // warm-up
+		t.Fatal(err)
+	}
+
+	before := sh.CumulativeStats()
+	if _, _, err := view.TopK(batch, k); err != nil {
+		t.Fatal(err)
+	}
+	after := sh.CumulativeStats()
+	screened := after.QuantScreened - before.QuantScreened
+	survived := after.QuantSurvived - before.QuantSurvived
+	if screened+survived == 0 {
+		t.Fatal("steady-state call screened no candidates; sidecar inactive")
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := view.TopK(batch, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perCandidate := allocs / float64(screened+survived)
+	t.Logf("quant path: %.1f allocs/call over %d screened candidates (%d discarded) = %.4f allocs/candidate",
+		allocs, screened+survived, screened, perCandidate)
+	if perCandidate > 0.10 {
+		t.Fatalf("%.4f allocations per screened candidate (%.1f per call); quantized screening is allocating per candidate",
+			perCandidate, allocs)
+	}
+}
+
 // TestServerObservedSteadyStateAllocs is the same bound with the full
 // observability envelope engaged: a wired Server (metric hooks on the
 // shard set), an active trace in the context (so tune/scan/shard/merge

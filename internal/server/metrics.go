@@ -51,6 +51,8 @@ type serverMetrics struct {
 	coreTuneHits    *obs.Counter
 	coreTuneSeconds *obs.Counter
 	coreScanSeconds *obs.Counter
+	quantScreened   *obs.Counter
+	quantSurvivors  *obs.Counter
 
 	slowQueries *obs.Counter
 }
@@ -126,6 +128,11 @@ func newServerMetrics(shards int) *serverMetrics {
 	m.coreScanSeconds = reg.Counter("lemp_core_scan_seconds_total",
 		"Cumulative retrieval-scan time, summed across shards and calls (worker time, not wall clock).")
 
+	m.quantScreened = reg.Counter("lemp_quant_screened_total",
+		"Candidates discarded by int8 quantized screening before exact verification (0 unless built with quantization).")
+	m.quantSurvivors = reg.Counter("lemp_quant_survivors_total",
+		"Candidates that passed quantized screening and went on to exact verification.")
+
 	m.slowQueries = reg.Counter("lemp_slow_queries_total",
 		"Requests past the slow-query threshold (always traced and logged).")
 
@@ -162,6 +169,8 @@ func (m *serverMetrics) recordCallStats(st lemp.Stats) {
 	m.coreTuneHits.Add(float64(st.TuneCacheHits))
 	m.coreTuneSeconds.AddDuration(st.TuneTime)
 	m.coreScanSeconds.AddDuration(st.RetrievalTime)
+	m.quantScreened.Add(float64(st.QuantScreened))
+	m.quantSurvivors.Add(float64(st.QuantSurvived))
 }
 
 // wireState registers the func-backed families that read live server
@@ -211,6 +220,9 @@ func (s *Server) wireState() {
 	reg.GaugeFunc("lemp_placement_cost_skew",
 		"Max/mean ratio of per-shard estimated scan cost (1 = perfectly balanced).",
 		func() float64 { return s.sharded.CostSkew() })
+	reg.GaugeFunc("lemp_quant_sidecar_bytes",
+		"Memory held by the int8 quantized screening sidecars across all shards (0 when screening is off).",
+		func() float64 { return float64(s.sharded.SidecarBytes()) })
 	reg.CounterFunc("lemp_batches_total",
 		"Retrieval calls dispatched (each serving one coalesced batch).",
 		func() float64 { return float64(s.batches.Load()) })

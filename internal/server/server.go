@@ -38,6 +38,12 @@ type Config struct {
 	// layout as-is. Implied when Placement overrides the stored strategy or
 	// the snapshot count differs from Shards.
 	RebalanceOnLoad bool
+	// Quant overrides the snapshots' quantized-screening state when
+	// restoring (NewFromSnapshot): lemp.QuantAuto (the zero value) keeps
+	// what each snapshot persisted, QuantOn forces screening on (rebuilding
+	// missing sidecars from the stored directions), QuantOff drops it.
+	// Fresh builds ignore it — set Options.Quantize instead.
+	Quant lemp.QuantMode
 	// Options configure each shard's index. Options.Parallelism == 0 is
 	// replaced by runtime.NumCPU()/Shards (at least 1), so one dispatched
 	// batch fanning out across all shards uses about all cores — not
@@ -239,7 +245,7 @@ func NewFromSnapshot(snapshots []io.Reader, cfg Config) (*Server, error) {
 	if _, err := ParseBatchMode(cfg.BatchMode); err != nil {
 		return nil, err
 	}
-	sharded, err := NewShardedFromSnapshot(snapshots, lemp.LoadOptions{Parallelism: cfg.Options.Parallelism})
+	sharded, err := NewShardedFromSnapshot(snapshots, lemp.LoadOptions{Parallelism: cfg.Options.Parallelism, Quant: cfg.Quant})
 	if err != nil {
 		return nil, err
 	}
@@ -872,7 +878,17 @@ type statsResponse struct {
 	ShardsScanned uint64    `json:"shards_scanned"`
 	ShardsPruned  uint64    `json:"shards_pruned"`
 	Cache         cacheInfo `json:"cache"`
+	Quant         quantInfo `json:"quant"`
 	Core          coreStats `json:"core"`
+}
+
+// quantInfo reports quantized-screening effectiveness and footprint:
+// candidates discarded before exact verification vs passed through, and
+// the sidecar memory across shards (all zero when screening is off).
+type quantInfo struct {
+	Screened     int64 `json:"screened"`
+	Survivors    int64 `json:"survivors"`
+	SidecarBytes int   `json:"sidecar_bytes"`
 }
 
 type cacheInfo struct {
@@ -954,6 +970,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ShardsScanned: s.sharded.ShardsScanned(),
 		ShardsPruned:  s.sharded.ShardsPruned(),
 		Cache:         cacheInfo{Hits: s.cache.Hits(), Misses: s.cache.Misses(), Rows: s.cache.Len(), Entries: s.cache.Entries()},
+		Quant: quantInfo{
+			Screened:     st.QuantScreened,
+			Survivors:    st.QuantSurvived,
+			SidecarBytes: s.sharded.SidecarBytes(),
+		},
 		Core: coreStats{
 			Queries:        st.Queries,
 			Buckets:        st.Buckets,

@@ -325,6 +325,18 @@ func (s *Sharded) R() int { return s.r }
 // NumShards returns the number of shards.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// SidecarBytes returns the memory held by the quantized screening
+// sidecars across all shards; 0 when screening is off.
+func (s *Sharded) SidecarBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.index.SidecarBytes()
+	}
+	return total
+}
+
 // Epoch returns the current update epoch: 0 at construction, +1 per
 // applied update batch.
 func (s *Sharded) Epoch() uint64 {

@@ -61,6 +61,22 @@
 //	        set resume centroid-routed pruning without recomputing cones;
 //	        a snapshot without it restores with placement re-derived.
 //
+// Version 5 adds one optional section after BUKT (and SLST/PLMT, when
+// present):
+//
+//	"QNT8"  the quantized screening sidecar (internal/quant,
+//	        core.Options.Quantize): per bucket a presence byte, then —
+//	        when present — the per-row scales (size × float64), the
+//	        residual-norm bounds (size × float64) and the int8 codes
+//	        (size × r bytes). Presence of the section implies
+//	        Options.Quantize on load (the fixed-size OPTS payload predates
+//	        the flag); core.FromState re-verifies the sidecar against the
+//	        bucket directions — quantization is deterministic — so a
+//	        tampered sidecar fails to load instead of mis-screening. A
+//	        snapshot without the section loads with screening off; loaders
+//	        can force it back on (lemp.LoadOptions), which rebuilds the
+//	        sidecar from the directions.
+//
 // A writer emits version 1 whenever none of the optional sections is
 // needed, so plain snapshots stay byte-compatible with version-1 readers.
 //
@@ -107,6 +123,7 @@ const (
 	VersionIDs       = 2
 	VersionLists     = 3
 	VersionPlacement = 4
+	VersionQuant     = 5
 )
 
 var (
@@ -118,6 +135,7 @@ var (
 	tagBuckets   = [4]byte{'B', 'U', 'K', 'T'}
 	tagLists     = [4]byte{'S', 'L', 'S', 'T'}
 	tagPlacement = [4]byte{'P', 'L', 'M', 'T'}
+	tagQuant     = [4]byte{'Q', 'N', 'T', '8'}
 	tagEnd       = [4]byte{'E', 'N', 'D', 0}
 )
 
@@ -183,6 +201,13 @@ func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 			}
 		}
 	}
+	writeQuant := false
+	for _, b := range st.Buckets {
+		if b.QuantScales != nil {
+			writeQuant = true
+			break
+		}
+	}
 	writePlmt := st.PlacementKind != "" || st.Cone != nil
 	if writePlmt {
 		if len(st.PlacementKind) > maxPlacementKind {
@@ -203,6 +228,9 @@ func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 	}
 	if writePlmt {
 		version = VersionPlacement
+	}
+	if writeQuant {
+		version = VersionQuant
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
@@ -286,10 +314,85 @@ func WriteWith(w io.Writer, st *core.State, opts WriteOptions) error {
 			return err
 		}
 	}
+	if writeQuant {
+		quantLen := uint64(len(st.Buckets))
+		r := uint64(st.Probe.R())
+		for _, b := range st.Buckets {
+			if b.QuantScales != nil {
+				s := uint64(len(b.QuantScales))
+				quantLen += 8*s + 8*s + s*r
+			}
+		}
+		if err := writeSection(bw, tagQuant, quantLen, func(w io.Writer) error {
+			return writeQuantSidecar(w, st)
+		}); err != nil {
+			return err
+		}
+	}
 	if err := writeSection(bw, tagEnd, 0, func(io.Writer) error { return nil }); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeQuantSidecar emits the QNT8 payload: one presence byte per bucket,
+// then the present buckets' scales, residual bounds and int8 codes.
+func writeQuantSidecar(w io.Writer, st *core.State) error {
+	for _, b := range st.Buckets {
+		present := byte(0)
+		if b.QuantScales != nil {
+			present = 1
+		}
+		if _, err := w.Write([]byte{present}); err != nil {
+			return err
+		}
+		if present == 0 {
+			continue
+		}
+		if err := matrix.WriteFloat64s(w, b.QuantScales); err != nil {
+			return err
+		}
+		if err := matrix.WriteFloat64s(w, b.QuantResid); err != nil {
+			return err
+		}
+		if err := matrix.WriteInt8s(w, b.QuantCodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readQuantSidecar parses the QNT8 payload into the already-read bucket
+// states. Allocation is bounded by the declared bucket sizes; semantic
+// verification (exact agreement with re-quantized directions) runs in
+// core.FromState.
+func readQuantSidecar(r io.Reader, st *core.State) error {
+	dim := st.Probe.R()
+	for i := range st.Buckets {
+		var present [1]byte
+		if _, err := io.ReadFull(r, present[:]); err != nil {
+			return fmt.Errorf("bucket %d sidecar flag: %w", i, err)
+		}
+		switch present[0] {
+		case 0:
+			continue
+		case 1:
+		default:
+			return fmt.Errorf("bucket %d sidecar flag is %d, want 0 or 1", i, present[0])
+		}
+		size := len(st.Buckets[i].IDs)
+		var err error
+		if st.Buckets[i].QuantScales, err = matrix.ReadFloat64s(r, size); err != nil {
+			return fmt.Errorf("bucket %d sidecar scales: %w", i, err)
+		}
+		if st.Buckets[i].QuantResid, err = matrix.ReadFloat64s(r, size); err != nil {
+			return fmt.Errorf("bucket %d sidecar residuals: %w", i, err)
+		}
+		if st.Buckets[i].QuantCodes, err = matrix.ReadInt8s(r, size*dim); err != nil {
+			return fmt.Errorf("bucket %d sidecar codes: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // writeSortedLists emits the SLST payload: one presence byte per bucket, then
@@ -565,14 +668,14 @@ func Read(r io.Reader) (*core.State, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v < Version || v > VersionPlacement {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d through %d)", v, Version, VersionPlacement)
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v < Version || v > VersionQuant {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d through %d)", v, Version, VersionQuant)
 	}
 	if rsv := binary.LittleEndian.Uint32(hdr[4:8]); rsv != 0 {
 		return nil, fmt.Errorf("snapshot: reserved header field is %#x, want 0", rsv)
 	}
 	st := &core.State{}
-	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune, haveLists, havePlmt bool
+	var haveOpts, haveProbe, haveBuckets, haveIDs, haveMuta, haveTune, haveLists, havePlmt, haveQuant bool
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(br, tag[:]); err != nil {
@@ -653,6 +756,18 @@ func Read(r io.Reader) (*core.State, error) {
 			}
 			havePlmt = true
 			err = readPlacement(sr, st)
+		case tagQuant:
+			if haveQuant {
+				return nil, fmt.Errorf("snapshot: duplicate QNT8 section")
+			}
+			if !haveBuckets {
+				return nil, fmt.Errorf("snapshot: QNT8 section before BUKT")
+			}
+			haveQuant = true
+			// The fixed-size OPTS payload predates the Quantize flag;
+			// presence of the sidecar section is the persisted form of it.
+			st.Opts.Quantize = true
+			err = readQuantSidecar(sr, st)
 		case tagEnd:
 			if sr.n != 0 {
 				return nil, fmt.Errorf("snapshot: END section with %d payload bytes", sr.n)

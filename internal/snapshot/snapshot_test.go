@@ -223,7 +223,7 @@ func TestReadRejectsBadMagicAndVersion(t *testing.T) {
 		t.Error("matrix magic accepted as a snapshot")
 	}
 	bad := append([]byte(nil), raw...)
-	binary.LittleEndian.PutUint32(bad[8:12], VersionPlacement+1)
+	binary.LittleEndian.PutUint32(bad[8:12], VersionQuant+1)
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("future format version accepted")
 	}
@@ -374,6 +374,183 @@ func TestRestoredListsServeIdentically(t *testing.T) {
 	}
 }
 
+// buildQuantState makes a state whose index carries the quantized
+// screening sidecar (Options.Quantize, format version 5).
+func buildQuantState(t testing.TB) *core.State {
+	t.Helper()
+	rng := rand.New(rand.NewSource(29))
+	p := matrix.New(8, 200)
+	p.FillRandom(rng)
+	for i := 0; i < 200; i++ { // skew lengths so several buckets form
+		v := p.Vec(i)
+		scale := math.Exp(0.9 * rng.NormFloat64())
+		for f := range v {
+			v[f] *= scale
+		}
+	}
+	ix, err := core.NewIndex(p, core.Options{MinBucketSize: 10, Quantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix.State()
+}
+
+// TestQuantRoundTrip: a Quantize index must emit format version 5 with a
+// QNT8 section, round-trip the sidecar bit-for-bit, restore with screening
+// active (sidecar attached, Opts.Quantize set) and answer exactly like the
+// original. A snapshot without the section must stay at its lower version
+// and restore with screening off.
+func TestQuantRoundTrip(t *testing.T) {
+	st := buildQuantState(t)
+	withQuant := false
+	for _, b := range st.Buckets {
+		if b.QuantScales != nil {
+			withQuant = true
+		}
+	}
+	if !withQuant {
+		t.Fatal("fixture built no quant sidecar; Options.Quantize should have")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != VersionQuant {
+		t.Fatalf("format version %d, want %d", v, VersionQuant)
+	}
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Opts.Quantize {
+		t.Fatal("QNT8 snapshot read back with Opts.Quantize false")
+	}
+	for i := range st.Buckets {
+		w, g := st.Buckets[i], got.Buckets[i]
+		if !reflect.DeepEqual(g.QuantScales, w.QuantScales) ||
+			!reflect.DeepEqual(g.QuantCodes, w.QuantCodes) ||
+			!reflect.DeepEqual(g.QuantResid, w.QuantResid) {
+			t.Fatalf("bucket %d: quant sidecar differs after round trip", i)
+		}
+	}
+	restored, err := core.FromState(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SidecarBytes() == 0 {
+		t.Fatal("restored index holds no quant sidecar")
+	}
+	original, err := core.FromState(buildQuantState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := matrix.New(st.Probe.R(), 5)
+	q.FillRandom(rand.New(rand.NewSource(78)))
+	wantTop, _, err := original.RowTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, _, err := restored.RowTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Fatal("restored quant index answers differently")
+	}
+
+	// A snapshot without a QNT8 section must not bump the version and must
+	// read back with screening off.
+	plain := buildUntunedState(t)
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, plain); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf2.Bytes()[8:12]); v != Version {
+		t.Fatalf("quantless snapshot has version %d, want %d", v, Version)
+	}
+	got2, err := Read(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Opts.Quantize {
+		t.Fatal("quantless snapshot read back with Opts.Quantize true")
+	}
+}
+
+// TestQuantCorruptionDetected is TestReadDetectsCorruption over a
+// version-5 (QNT8) snapshot, plus CRC-valid semantic tampering: a sidecar
+// whose bytes are intact but whose content disagrees with the stored
+// directions must be rejected by FromState's verify-by-recompute, never
+// loaded to silently mis-screen.
+func TestQuantCorruptionDetected(t *testing.T) {
+	st := buildQuantState(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	step := 1
+	if len(raw) > 1<<16 {
+		step = len(raw) / (1 << 16)
+	}
+	for off := 0; off < len(raw); off += step {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		got, err := Read(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		if _, err := core.FromState(got); err == nil {
+			t.Fatalf("bit flip at offset %d of a quant snapshot went undetected", off)
+		}
+	}
+
+	tampers := []struct {
+		name string
+		mut  func(st *core.State, bs *core.BucketState)
+	}{
+		{"scale drift", func(_ *core.State, bs *core.BucketState) {
+			bs.QuantScales[0] = math.Nextafter(bs.QuantScales[0], math.Inf(1))
+		}},
+		{"code flip", func(_ *core.State, bs *core.BucketState) {
+			bs.QuantCodes[0] ^= 1
+		}},
+		{"resid drift", func(_ *core.State, bs *core.BucketState) {
+			bs.QuantResid[0] = math.Nextafter(bs.QuantResid[0], math.Inf(1))
+		}},
+		{"codes shape mismatch", func(_ *core.State, bs *core.BucketState) {
+			bs.QuantCodes = bs.QuantCodes[:len(bs.QuantCodes)-1]
+		}},
+		{"scales shape mismatch", func(_ *core.State, bs *core.BucketState) {
+			bs.QuantScales = append(bs.QuantScales, 0)
+		}},
+		{"sidecar with screening off", func(st *core.State, _ *core.BucketState) {
+			st.Opts.Quantize = false
+		}},
+	}
+	for _, tc := range tampers {
+		got, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := -1
+		for i := range got.Buckets {
+			if len(got.Buckets[i].QuantCodes) > 0 {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			t.Fatal("no bucket with a usable sidecar in the fixture")
+		}
+		tc.mut(got, &got.Buckets[target])
+		if _, err := core.FromState(got); err == nil {
+			t.Errorf("%s: tampered quant sidecar loaded", tc.name)
+		}
+	}
+}
+
 func TestReadRejectsTruncation(t *testing.T) {
 	st := buildState(t)
 	var buf bytes.Buffer
@@ -401,6 +578,11 @@ func FuzzRead(f *testing.F) {
 	raw := buf.Bytes()
 	f.Add(raw)
 	f.Add(raw[:len(raw)/2])
+	var qbuf bytes.Buffer
+	if err := Write(&qbuf, buildQuantState(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qbuf.Bytes()) // version-5 seed: QNT8 section reachable by mutation
 	f.Add([]byte(Magic))
 	f.Add([]byte{})
 	// A header whose BUKT section claims huge sizes.

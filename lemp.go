@@ -113,6 +113,10 @@ func (ix *Index) R() int { return ix.inner.R() }
 // NumBuckets returns the number of probe buckets.
 func (ix *Index) NumBuckets() int { return ix.inner.NumBuckets() }
 
+// SidecarBytes returns the memory held by the quantized screening sidecar
+// (Options.Quantize), 0 when screening is off.
+func (ix *Index) SidecarBytes() int { return ix.inner.SidecarBytes() }
+
 // BucketInfo describes one probe bucket (size, length range, lazy-index and
 // tuning state).
 type BucketInfo = core.BucketInfo

@@ -61,7 +61,29 @@ type LoadOptions struct {
 	// index re-runs per-call sample-based tuning like a freshly built one,
 	// instead of reusing the stored per-bucket parameters.
 	Retune bool
+	// Quant overrides the snapshot's quantized-screening state
+	// (Options.Quantize / the QNT8 section). QuantAuto keeps what the
+	// snapshot persisted; QuantOn forces screening on, rebuilding the
+	// sidecar from the stored directions when the snapshot has none;
+	// QuantOff drops any persisted sidecar and disables screening. Exact
+	// results are identical in every mode.
+	Quant QuantMode
 }
+
+// QuantMode selects how LoadIndex treats a snapshot's quantized screening
+// sidecar.
+type QuantMode int
+
+const (
+	// QuantAuto restores the snapshot's own state: screening on iff a QNT8
+	// section was persisted.
+	QuantAuto QuantMode = iota
+	// QuantOn forces quantized screening on, quantizing the stored
+	// directions when the snapshot carries no sidecar.
+	QuantOn
+	// QuantOff drops any persisted sidecar and loads with screening off.
+	QuantOff
+)
 
 // LoadIndex reads a LEMPIDX1 snapshot and rebuilds the index without
 // re-running bucketization or tuning, so loading costs O(read). The
@@ -96,6 +118,17 @@ func LoadIndexPlacement(r io.Reader, opts LoadOptions) (*Index, *ShardPlacement,
 		// included: the loaded index behaves like a freshly built one.
 		st.Pretuned = false
 		st.TuneSample = nil
+	}
+	switch opts.Quant {
+	case QuantOn:
+		st.Opts.Quantize = true // missing sidecars are rebuilt by FromState
+	case QuantOff:
+		st.Opts.Quantize = false
+		for i := range st.Buckets {
+			st.Buckets[i].QuantScales = nil
+			st.Buckets[i].QuantCodes = nil
+			st.Buckets[i].QuantResid = nil
+		}
 	}
 	inner, err := core.FromState(st)
 	if err != nil {
