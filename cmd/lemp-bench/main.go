@@ -8,9 +8,12 @@
 //	lemp-bench -experiment fig6b          # one experiment
 //	lemp-bench -experiment table5 -scale 0.5
 //	lemp-bench -quick                     # reduced grid, skips D-Tree
+//	lemp-bench -experiment bulk -json out # + BENCH_bulk.json trajectory
 //
 // Experiment ids: fig5 fig6a fig6b fig7ab fig7cf table2 table3 table4
-// table5 table6 cache tune.
+// table5 table6 cache tune kernels placement quant load bulk. With -json
+// each experiment also writes a machine-readable BENCH_<id>.json file for
+// archiving trajectories across commits.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id or 'all' ("+strings.Join(bench.ExperimentIDs, " ")+")")
 	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
 	quick := flag.Bool("quick", false, "reduced grid (fewer levels/k, no D-Tree)")
+	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json trajectory files to this directory")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
 
@@ -34,6 +38,7 @@ func main() {
 		Quick:   *quick,
 		Out:     os.Stdout,
 		Verbose: *verbose,
+		JSONDir: *jsonDir,
 	})
 	if err := r.Run(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "lemp-bench:", err)

@@ -32,6 +32,10 @@ type Config struct {
 	Quick   bool      // reduced levels/k and skip the slowest baselines
 	Out     io.Writer // destination for the result tables
 	Verbose bool      // progress logging to Out
+	// JSONDir, when non-empty, receives one BENCH_<experiment>.json
+	// trajectory file per experiment run, holding its measurements in
+	// machine-readable form for archiving across commits.
+	JSONDir string
 }
 
 // Runner generates datasets on demand, caches them and their calibrated
@@ -42,6 +46,9 @@ type Runner struct {
 	// grids memoizes measurement grids shared between a figure and its
 	// table (the paper's Fig. 7 and Tables 5–6 show the same runs).
 	grids map[string][]Measurement
+	// collect accumulates every measurement printed this run, in print
+	// order, for the JSON trajectory writer.
+	collect []Measurement
 }
 
 // NewRunner returns a harness with the given configuration.

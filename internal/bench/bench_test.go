@@ -2,6 +2,10 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -110,6 +114,56 @@ func TestQuantScreenGuard(t *testing.T) {
 	if row.screenRate < 0.40 {
 		t.Errorf("sidecar screened %.1f%% of candidates at θ=%.4f, want >= 40%%",
 			100*row.screenRate, row.theta)
+	}
+}
+
+// TestBulkThroughputGuard pins the headline claim of the bulk engine: on
+// the Smoke catalog, a bulk Row-Top-10 job must process rows at least
+// 1.5× as fast as a loop of per-row serving calls — while producing
+// exactly the serving path's results (bulkComparison cross-checks every
+// row and fails on any mismatch). The margin is far below the typical
+// 10x+ (the serving loop re-tunes per call), so the guard is stable on
+// contended hosted runners.
+func TestBulkThroughputGuard(t *testing.T) {
+	runs, speedup, err := bulkComparison(runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		t.Logf("%-16s %12v  (%8.0f rows/s)", run.method, run.wall, run.rowsSec)
+	}
+	if speedup < 1.5 {
+		t.Errorf("bulk engine %.2fx over per-row serving loop, want >= 1.5x", speedup)
+	}
+}
+
+// With JSONDir set, every experiment leaves a parseable trajectory file
+// holding its measurements.
+func TestBenchJSONTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	r := NewRunner(Config{Scale: 0.02, Quick: true, Out: &out, JSONDir: dir})
+	if err := r.Run("fig5"); err != nil {
+		t.Fatalf("Run(fig5): %v\n%s", err, out.String())
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_fig5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		t.Fatalf("trajectory does not parse: %v", err)
+	}
+	if tr.Experiment != "fig5" || !tr.Quick || tr.Scale != 0.02 {
+		t.Fatalf("trajectory header: %+v", tr)
+	}
+	if len(tr.Measurements) == 0 {
+		t.Fatal("trajectory holds no measurements")
+	}
+	for _, m := range tr.Measurements {
+		if m.Method == "" || m.Dataset == "" {
+			t.Fatalf("incomplete measurement: %+v", m)
+		}
 	}
 }
 

@@ -11,20 +11,35 @@ import (
 var ExperimentIDs = []string{
 	"fig5", "fig6a", "fig6b", "fig7ab", "fig7cf",
 	"table2", "table3", "table4", "table5", "table6",
-	"cache", "tune", "kernels", "placement", "quant", "load",
+	"cache", "tune", "kernels", "placement", "quant", "load", "bulk",
 }
 
 // Run executes one experiment by id ("all" runs every experiment) and
-// prints its table(s) to cfg.Out.
+// prints its table(s) to cfg.Out. With Config.JSONDir set, each
+// experiment's measurements are also written to
+// <JSONDir>/BENCH_<id>.json so CI can archive trajectories across
+// commits.
 func (r *Runner) Run(id string) error {
-	switch id {
-	case "all":
+	if id == "all" {
 		for _, e := range ExperimentIDs {
 			if err := r.Run(e); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+	before := len(r.collect)
+	if err := r.run1(id); err != nil {
+		return err
+	}
+	if r.cfg.JSONDir != "" {
+		return r.writeJSON(id, r.collect[before:])
+	}
+	return nil
+}
+
+func (r *Runner) run1(id string) error {
+	switch id {
 	case "fig5":
 		return r.fig5()
 	case "fig6a":
@@ -57,6 +72,8 @@ func (r *Runner) Run(id string) error {
 		return r.quantScreening()
 	case "load":
 		return r.servingLoad()
+	case "bulk":
+		return r.bulkThroughput()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs)
 	}

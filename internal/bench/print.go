@@ -13,6 +13,7 @@ func (r *Runner) header(title string) {
 // per method, with the paper's columns: total time and candidates/query.
 func (r *Runner) printTable(ms []Measurement) {
 	sortMeasurements(ms)
+	r.record(ms)
 	lastGroup := ""
 	for _, m := range ms {
 		group := m.Dataset + " / " + m.Problem
@@ -31,6 +32,7 @@ func (r *Runner) printTable(ms []Measurement) {
 // Figs. 5 and 6 mark "6.4x" over the runner-up.
 func (r *Runner) printComparison(ms []Measurement, highlight string) {
 	sortMeasurements(ms)
+	r.record(ms)
 	groups := map[string][]Measurement{}
 	var order []string
 	for _, m := range ms {

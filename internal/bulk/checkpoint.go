@@ -1,0 +1,152 @@
+package bulk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+
+	"lemp/internal/core"
+)
+
+// Checkpoint format (BULKCK): a fixed-size record naming how much of the
+// result file is durable. Because the writer flushes panels strictly in
+// panel order, two numbers pin the exact resume point — the count of
+// flushed panels and the result-file byte offset they end at — and the CRC
+// of that prefix proves the bytes on disk are the ones the checkpoint saw.
+// Resume re-runs only panels ≥ Panels and appends at Offset, producing a
+// byte-identical file to an uninterrupted run.
+//
+//	magic    [8]byte  "LEMPBCK1"
+//	version  uint32   1
+//	jobHash  uint64   fingerprint of the job shape (mode, k/θ, panel size,
+//	                  query and probe dimensions, index epoch)
+//	panels   uint64   panels flushed to the result file
+//	offset   uint64   result-file size after those panels
+//	outCRC   uint32   CRC-32 (IEEE) of result bytes [0, offset)
+//	selfCRC  uint32   CRC-32 of the 40 bytes above
+const (
+	ckptMagic   = "LEMPBCK1"
+	ckptVersion = 1
+	ckptSize    = len(ckptMagic) + 4 + 8 + 8 + 8 + 4 + 4
+)
+
+// checkpoint is the decoded BULKCK record.
+type checkpoint struct {
+	jobHash uint64
+	panels  uint64
+	offset  uint64
+	outCRC  uint32
+}
+
+// encode renders the record, self-CRC included.
+func (ck checkpoint) encode() []byte {
+	buf := make([]byte, ckptSize)
+	copy(buf, ckptMagic)
+	binary.LittleEndian.PutUint32(buf[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(buf[12:], ck.jobHash)
+	binary.LittleEndian.PutUint64(buf[20:], ck.panels)
+	binary.LittleEndian.PutUint64(buf[28:], ck.offset)
+	binary.LittleEndian.PutUint32(buf[36:], ck.outCRC)
+	binary.LittleEndian.PutUint32(buf[40:], crc32.ChecksumIEEE(buf[:40]))
+	return buf
+}
+
+// readCheckpoint loads and validates a BULKCK file. Truncation, bad magic,
+// an unknown version or a CRC mismatch are all rejected — a corrupted
+// checkpoint must fail loudly rather than resume at the wrong offset.
+func readCheckpoint(path string) (checkpoint, error) {
+	var ck checkpoint
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return ck, err
+	}
+	if len(buf) != ckptSize {
+		return ck, fmt.Errorf("bulk: checkpoint %s: %d bytes, want %d (truncated or not a BULKCK file)", path, len(buf), ckptSize)
+	}
+	if string(buf[:8]) != ckptMagic {
+		return ck, fmt.Errorf("bulk: checkpoint %s: bad magic %q", path, buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != ckptVersion {
+		return ck, fmt.Errorf("bulk: checkpoint %s: unsupported version %d", path, v)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[:40]), binary.LittleEndian.Uint32(buf[40:]); got != want {
+		return ck, fmt.Errorf("bulk: checkpoint %s: CRC mismatch (corrupted)", path)
+	}
+	ck.jobHash = binary.LittleEndian.Uint64(buf[12:])
+	ck.panels = binary.LittleEndian.Uint64(buf[20:])
+	ck.offset = binary.LittleEndian.Uint64(buf[28:])
+	ck.outCRC = binary.LittleEndian.Uint32(buf[36:])
+	return ck, nil
+}
+
+// writeCheckpointAtomic persists the record with the snapshot machinery's
+// write-to-temp-then-rename discipline, so a crash mid-checkpoint leaves
+// the previous checkpoint intact.
+func writeCheckpointAtomic(path string, ck checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(ck.encode()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// jobHash fingerprints the job shape: everything that, if changed between
+// runs, would make resumed output diverge from the original run's bytes or
+// desync the panel↔offset mapping. It is a sanity check against resuming
+// with the wrong inputs, not a content hash of the matrices — swapping in
+// a different probe matrix with identical shape and epoch is on the
+// operator.
+func jobHash(ix *core.Index, src QuerySource, cfg Config) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	if cfg.K > 0 {
+		put(1)
+		put(uint64(cfg.K))
+	} else {
+		put(2)
+		put(math.Float64bits(cfg.Theta))
+	}
+	put(uint64(cfg.PanelRows))
+	put(uint64(src.N()))
+	put(uint64(src.R()))
+	put(uint64(ix.LiveN()))
+	put(ix.Epoch())
+	return h.Sum64()
+}
+
+// crcOfPrefix re-reads the first n bytes of f and returns their CRC-32,
+// used at resume time to prove the result-file prefix matches what the
+// checkpoint recorded.
+func crcOfPrefix(f *os.File, n int64) (uint32, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.CopyN(h, f, n); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}

@@ -66,38 +66,31 @@ func (ix *Index) AboveThetaCtx(ctx context.Context, q *matrix.Matrix, theta floa
 			emit(e)
 			mu.Unlock()
 		}
+		// Dynamic tile claiming, as in RowTopKCtx: pre-cut chunks pay a
+		// straggler tax when candidate mass concentrates on a few
+		// queries (tiles.go). Entry order across workers is unspecified
+		// either way.
 		workers := c.opts.Parallelism
 		stats := make([]Stats, workers)
+		cursor := newTileCursor(qs.n(), workers)
 		var wg sync.WaitGroup
-		chunk := (qs.n() + workers - 1) / workers
 		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > qs.n() {
-				hi = qs.n()
-			}
-			if lo >= hi {
-				break
-			}
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w int) {
 				defer wg.Done()
 				s := ix.getScratch()
 				defer ix.putScratch(s)
-				ix.aboveWorker(c, qs, lo, hi, theta, s, lockedEmit, &stats[w])
-			}(w, lo, hi)
+				for {
+					lo, hi, ok := cursor.claim()
+					if !ok || c.canceled() {
+						return
+					}
+					ix.aboveWorker(c, qs, lo, hi, theta, s, lockedEmit, &stats[w])
+				}
+			}(w)
 		}
 		wg.Wait()
-		for _, ws := range stats {
-			st.Candidates += ws.Candidates
-			st.Results += ws.Results
-			st.BlockVerified += ws.BlockVerified
-			st.ScalarVerified += ws.ScalarVerified
-			st.ProcessedPairs += ws.ProcessedPairs
-			st.PrunedPairs += ws.PrunedPairs
-			st.QuantScreened += ws.QuantScreened
-			st.QuantSurvived += ws.QuantSurvived
-		}
+		addWorkerStats(&st, stats)
 	}
 	st.RetrievalTime = time.Since(start)
 	c.endSpan(scanSpan)

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lemp/internal/matrix"
+	"lemp/internal/retrieval"
+)
+
+func panelFixture(t *testing.T, m, n, r int, seed int64) (*Index, *matrix.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := matrix.New(r, n)
+	p.FillRandom(rng)
+	q := matrix.New(r, m)
+	q.FillRandom(rng)
+	// A few zero queries exercise the zero-row path.
+	for f := 0; f < r; f++ {
+		q.Vec(3)[f] = 0
+	}
+	ix, err := NewIndex(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, q
+}
+
+// Row-Top-k answers must be independent of how the query matrix is cut
+// into panels: every panel row must equal the corresponding row of a
+// full-matrix call.
+func TestPanelTopKMatchesFullCall(t *testing.T) {
+	ix, q := panelFixture(t, 61, 400, 12, 7)
+	const k = 5
+	want, _, err := ix.RowTopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, panelRows := range []int{1, 7, 16, 61, 100} {
+		pr, err := ix.NewPanelRunTopK(k, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < q.N(); lo += panelRows {
+			hi := lo + panelRows
+			if hi > q.N() {
+				hi = q.N()
+			}
+			rows, _, err := pr.TopKPanel(context.Background(), q.Slice(lo, hi))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, row := range rows {
+				got := make([]retrieval.Entry, len(row))
+				copy(got, row)
+				for j := range got {
+					got[j].Query += lo // panel-local -> global row id
+				}
+				if !reflect.DeepEqual(got, want[lo+i]) {
+					t.Fatalf("panelRows=%d row %d: got %v want %v", panelRows, lo+i, got, want[lo+i])
+				}
+			}
+		}
+	}
+}
+
+// Concurrent panel calls on one PanelRun — the bulk engine's access
+// pattern — must produce the same rows as sequential ones, with exactly
+// one tuning pass for the whole job.
+func TestPanelRunConcurrentPanels(t *testing.T) {
+	ix, q := panelFixture(t, 96, 300, 10, 11)
+	const k, panelRows = 3, 8
+	want, _, err := ix.RowTopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ix.NewPanelRunTopK(k, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPanels := (q.N() + panelRows - 1) / panelRows
+	rowsByPanel := make([]retrieval.TopK, nPanels)
+	statsByPanel := make([]Stats, nPanels)
+	var wg sync.WaitGroup
+	for pi := 0; pi < nPanels; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			lo := pi * panelRows
+			hi := lo + panelRows
+			if hi > q.N() {
+				hi = q.N()
+			}
+			rows, st, err := pr.TopKPanel(context.Background(), q.Slice(lo, hi))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rowsByPanel[pi], statsByPanel[pi] = rows, st
+		}(pi)
+	}
+	wg.Wait()
+	tunings := 0
+	for pi, rows := range rowsByPanel {
+		tunings += statsByPanel[pi].Tunings
+		lo := pi * panelRows
+		for i, row := range rows {
+			got := make([]retrieval.Entry, len(row))
+			copy(got, row)
+			for j := range got {
+				got[j].Query += lo
+			}
+			if !reflect.DeepEqual(got, want[lo+i]) {
+				t.Fatalf("panel %d row %d mismatch", pi, lo+i)
+			}
+		}
+	}
+	if tunings != 1 {
+		t.Fatalf("job ran %d tuning passes, want exactly 1", tunings)
+	}
+}
+
+// Above-θ panels must recover exactly the full call's entry set, across
+// independent jobs (each tunes on its own first panel — the resume
+// scenario of the bulk engine, which canonicalizes row order before
+// encoding precisely because emit order may differ between jobs).
+func TestPanelAboveMatchesFullCall(t *testing.T) {
+	ix, q := panelFixture(t, 48, 350, 10, 13)
+	const theta = 2.5
+	var want []retrieval.Entry
+	if _, err := ix.AboveTheta(q, theta, retrieval.Collect(&want)); err != nil {
+		t.Fatal(err)
+	}
+	retrieval.Sort(want)
+	collect := func() []retrieval.Entry {
+		pr, err := ix.NewPanelRunAbove(theta, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []retrieval.Entry
+		const panelRows = 13
+		for lo := 0; lo < q.N(); lo += panelRows {
+			hi := lo + panelRows
+			if hi > q.N() {
+				hi = q.N()
+			}
+			_, err := pr.AbovePanel(context.Background(), q.Slice(lo, hi), func(e retrieval.Entry) {
+				e.Query += lo
+				got = append(got, e)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got
+	}
+	first := collect()
+	second := collect()
+	retrieval.Sort(first)
+	retrieval.Sort(second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("Above-θ entry set differs between independent panel jobs")
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("panel Above-θ entries differ from full call: got %d want %d", len(first), len(want))
+	}
+}
+
+// Mode misuse and bad parameters fail at construction or first call.
+func TestPanelRunValidation(t *testing.T) {
+	ix, q := panelFixture(t, 8, 50, 6, 17)
+	if _, err := ix.NewPanelRunTopK(0, RunOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ix.NewPanelRunAbove(0, RunOptions{}); err == nil {
+		t.Error("theta=0 accepted")
+	}
+	pr, err := ix.NewPanelRunTopK(2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.AbovePanel(context.Background(), q, func(retrieval.Entry) {}); err == nil {
+		t.Error("AbovePanel accepted on a TopK run")
+	}
+	bad := matrix.New(ix.R()+1, 2)
+	if _, _, err := pr.TopKPanel(context.Background(), bad); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -64,38 +64,31 @@ func (ix *Index) RowTopKCtx(ctx context.Context, q *matrix.Matrix, k int, ro Run
 		ix.topkWorker(c, qs, 0, qs.n(), k, s, out, &st)
 		ix.putScratch(s)
 	} else {
+		// Workers claim query tiles from a shared cursor instead of
+		// pre-cut chunks, so a straggler tile delays only itself
+		// (tiles.go); each worker keeps one pooled scratch for all the
+		// tiles it answers.
 		workers := c.opts.Parallelism
 		stats := make([]Stats, workers)
+		cursor := newTileCursor(qs.n(), workers)
 		var wg sync.WaitGroup
-		chunk := (qs.n() + workers - 1) / workers
 		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > qs.n() {
-				hi = qs.n()
-			}
-			if lo >= hi {
-				break
-			}
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w int) {
 				defer wg.Done()
 				s := ix.getScratch()
 				defer ix.putScratch(s)
-				ix.topkWorker(c, qs, lo, hi, k, s, out, &stats[w])
-			}(w, lo, hi)
+				for {
+					lo, hi, ok := cursor.claim()
+					if !ok || c.canceled() {
+						return
+					}
+					ix.topkWorker(c, qs, lo, hi, k, s, out, &stats[w])
+				}
+			}(w)
 		}
 		wg.Wait()
-		for _, ws := range stats {
-			st.Candidates += ws.Candidates
-			st.Results += ws.Results
-			st.BlockVerified += ws.BlockVerified
-			st.ScalarVerified += ws.ScalarVerified
-			st.ProcessedPairs += ws.ProcessedPairs
-			st.PrunedPairs += ws.PrunedPairs
-			st.QuantScreened += ws.QuantScreened
-			st.QuantSurvived += ws.QuantSurvived
-		}
+		addWorkerStats(&st, stats)
 	}
 	st.RetrievalTime = time.Since(start)
 	c.endSpan(scanSpan)

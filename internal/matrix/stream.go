@@ -1,0 +1,102 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+)
+
+// PanelReader reads contiguous vector panels of a LEMPMAT1 matrix file
+// without materializing the matrix: the bulk engine streams millions of
+// query rows through an index in cache-sized panels, and only the panels
+// currently being scanned are resident. Reads go through io.ReaderAt
+// (pread), so concurrent Panel calls from a worker pool need no locking
+// and share no state.
+type PanelReader struct {
+	ra     io.ReaderAt
+	r, n   int
+	closer io.Closer // set when the reader owns the underlying file
+}
+
+// lempmatHeaderLen is the LEMPMAT1 preamble: magic + r + n.
+const lempmatHeaderLen = len(binaryMagic) + 8
+
+// OpenPanelReader opens a LEMPMAT1 file for panel reads, validating the
+// header against the file's actual size exactly like ReadBinary. Close the
+// reader when done.
+func OpenPanelReader(path string) (*PanelReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pr, err := NewPanelReader(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pr.closer = f
+	return pr, nil
+}
+
+// NewPanelReader wraps an in-memory or file-backed LEMPMAT1 image of the
+// given total size. The header is untrusted: dimensions are bounds- and
+// overflow-checked and the implied payload must match size exactly.
+func NewPanelReader(ra io.ReaderAt, size int64) (*PanelReader, error) {
+	hdr := make([]byte, lempmatHeaderLen)
+	if _, err := ra.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("matrix: reading header: %w", err)
+	}
+	if string(hdr[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("matrix: bad magic %q", hdr[:len(binaryMagic)])
+	}
+	r := int(binary.LittleEndian.Uint32(hdr[len(binaryMagic):]))
+	n := int(binary.LittleEndian.Uint32(hdr[len(binaryMagic)+4:]))
+	if r < 0 || n < 0 || r > 1<<20 || n > 1<<31 {
+		return nil, fmt.Errorf("matrix: implausible dimensions %d×%d", r, n)
+	}
+	hi, lo := bits.Mul64(uint64(r), uint64(n))
+	if hi != 0 || lo > uint64(math.MaxInt)/8 {
+		return nil, fmt.Errorf("matrix: dimensions %d×%d overflow", r, n)
+	}
+	if want := int64(lempmatHeaderLen) + int64(lo)*8; want != size {
+		return nil, fmt.Errorf("matrix: header claims %d×%d (%d bytes) but input holds %d bytes", r, n, want, size)
+	}
+	return &PanelReader{ra: ra, r: r, n: n}, nil
+}
+
+// R returns the vector dimension.
+func (pr *PanelReader) R() int { return pr.r }
+
+// N returns the number of vectors in the file.
+func (pr *PanelReader) N() int { return pr.n }
+
+// Panel reads vectors [start, start+count) into a fresh Matrix. Safe for
+// concurrent use.
+func (pr *PanelReader) Panel(start, count int) (*Matrix, error) {
+	if start < 0 || count < 0 || start+count > pr.n {
+		return nil, fmt.Errorf("matrix: panel [%d,%d) out of range [0,%d)", start, start+count, pr.n)
+	}
+	data := make([]float64, count*pr.r)
+	off := int64(lempmatHeaderLen) + int64(start)*int64(pr.r)*8
+	sr := io.NewSectionReader(pr.ra, off, int64(len(data))*8)
+	if err := ReadFloat64sInto(sr, data); err != nil {
+		return nil, fmt.Errorf("matrix: reading panel [%d,%d): %w", start, start+count, err)
+	}
+	return FromData(pr.r, count, data)
+}
+
+// Close releases the underlying file when the reader owns one.
+func (pr *PanelReader) Close() error {
+	if pr.closer != nil {
+		return pr.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestPanelReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New(7, 103)
+	m.FillRandom(rng)
+	path := filepath.Join(t.TempDir(), "q.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	pr, err := OpenPanelReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if pr.R() != 7 || pr.N() != 103 {
+		t.Fatalf("got %d×%d, want 7×103", pr.R(), pr.N())
+	}
+	for _, span := range [][2]int{{0, 103}, {0, 1}, {102, 1}, {40, 13}, {0, 0}, {103, 0}} {
+		panel, err := pr.Panel(span[0], span[1])
+		if err != nil {
+			t.Fatalf("Panel(%d,%d): %v", span[0], span[1], err)
+		}
+		want := m.Slice(span[0], span[0]+span[1])
+		if !reflect.DeepEqual(panel.Data(), want.Data()) {
+			t.Fatalf("Panel(%d,%d) data mismatch", span[0], span[1])
+		}
+	}
+	// Concurrent panel reads (the bulk worker-pool pattern).
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				start := (w*13 + i*7) % 90
+				panel, err := pr.Panel(start, 10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(panel.Data(), m.Slice(start, start+10).Data()) {
+					t.Errorf("concurrent Panel(%d,10) mismatch", start)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPanelReaderRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(4, 9)
+	m.FillRandom(rng)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncated payload: header claims more than the file holds.
+	if _, err := NewPanelReader(bytes.NewReader(good[:len(good)-8]), int64(len(good)-8)); err == nil {
+		t.Error("truncated input accepted")
+	}
+	// Trailing garbage: size larger than the header implies.
+	padded := append(append([]byte{}, good...), 0, 0, 0, 0)
+	if _, err := NewPanelReader(bytes.NewReader(padded), int64(len(padded))); err == nil {
+		t.Error("oversized input accepted")
+	}
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := NewPanelReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Out-of-range panels.
+	pr, err := NewPanelReader(bytes.NewReader(good), int64(len(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range [][2]int{{-1, 2}, {0, 10}, {9, 1}, {5, -1}} {
+		if _, err := pr.Panel(span[0], span[1]); err == nil {
+			t.Errorf("Panel(%d,%d) accepted", span[0], span[1])
+		}
+	}
+}
